@@ -1,0 +1,53 @@
+//! Reproduces **Fig. 12**: improvement in depth (a) and effective CNOTs
+//! (b) as the number of chiplets grows — 2×2, 2×3, 3×3 and 3×4 arrays of
+//! 7×7 square chiplets.
+//!
+//! Usage: `cargo run --release -p mech-bench --bin fig12_scalability [-- --quick --csv]`
+
+use mech::CompilerConfig;
+use mech_bench::{run_cell, HarnessArgs};
+use mech_chiplet::ChipletSpec;
+use mech_circuit::benchmarks::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let arrays: &[(u32, u32)] = if args.quick {
+        &[(2, 2), (2, 3)]
+    } else {
+        &[(2, 2), (2, 3), (3, 3), (3, 4)]
+    };
+    let config = CompilerConfig::default();
+
+    if args.csv {
+        println!("chiplets,program,depth_improvement,eff_cnots_improvement");
+    } else {
+        println!(
+            "{:>9} {:<10} {:>18} {:>22}",
+            "#chiplets", "program", "depth improvement", "eff_CNOTs improvement"
+        );
+    }
+    for &(r, c) in arrays {
+        let spec = ChipletSpec::square(7, r, c);
+        for bench in Benchmark::ALL {
+            let o = run_cell(spec, 1, bench, 2024, config);
+            if args.csv {
+                println!(
+                    "{},{}-{},{:.4},{:.4}",
+                    r * c,
+                    bench,
+                    o.data_qubits,
+                    o.depth_improvement(),
+                    o.eff_improvement()
+                );
+            } else {
+                println!(
+                    "{:>9} {:<10} {:>17.1}% {:>21.1}%",
+                    r * c,
+                    format!("{}-{}", bench, o.data_qubits),
+                    100.0 * o.depth_improvement(),
+                    100.0 * o.eff_improvement()
+                );
+            }
+        }
+    }
+}

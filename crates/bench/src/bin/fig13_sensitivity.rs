@@ -1,0 +1,129 @@
+//! Reproduces **Fig. 13**: sensitivity of the improvements to (a)
+//! measurement latency, (b) measurement fidelity and (c) cross-chip CNOT
+//! fidelity, on a 3×3 array of 7×7 square chiplets.
+//!
+//! (a) recompiles both pipelines per latency; (b) and (c) reweigh the
+//! operation tallies (compilation decisions do not depend on the error
+//! ratios, matching the paper's setup).
+//!
+//! Usage: `cargo run --release -p mech-bench --bin fig13_sensitivity [-- --quick --csv]`
+
+use mech::{CompilerConfig, CostModel};
+use mech_bench::{run_cell, HarnessArgs, RunOutcome};
+use mech_chiplet::ChipletSpec;
+use mech_circuit::benchmarks::Benchmark;
+
+fn spec(quick: bool) -> ChipletSpec {
+    if quick {
+        ChipletSpec::square(5, 2, 2)
+    } else {
+        ChipletSpec::square(7, 3, 3)
+    }
+}
+
+fn eff_with(o: &RunOutcome, cost: CostModel) -> (f64, f64) {
+    let b = cost.eff_cnots(
+        o.baseline.on_chip_cnots,
+        o.baseline.cross_chip_cnots,
+        o.baseline.measurements,
+    );
+    let m = cost.eff_cnots(
+        o.mech.on_chip_cnots,
+        o.mech.cross_chip_cnots,
+        o.mech.measurements,
+    );
+    (b, m)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = spec(args.quick);
+
+    // (a) Measurement latency sweep: depth improvement.
+    let latencies: &[u32] = if args.quick {
+        &[1, 4, 20]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 20]
+    };
+    println!("# fig13a: depth improvement vs measurement latency");
+    if args.csv {
+        println!("latency,program,depth_improvement");
+    } else {
+        println!("{:>8} {:<10} {:>18}", "latency", "program", "depth improvement");
+    }
+    for &lat in latencies {
+        let config = CompilerConfig {
+            cost: CostModel {
+                meas_latency: lat,
+                ..CostModel::default()
+            },
+            ..CompilerConfig::default()
+        };
+        for bench in Benchmark::ALL {
+            let o = run_cell(spec, 1, bench, 2024, config);
+            if args.csv {
+                println!("{lat},{bench},{:.4}", o.depth_improvement());
+            } else {
+                println!(
+                    "{:>8} {:<10} {:>17.1}%",
+                    lat,
+                    bench.name(),
+                    100.0 * o.depth_improvement()
+                );
+            }
+        }
+    }
+
+    // Compile once with defaults for the fidelity sweeps.
+    let config = CompilerConfig::default();
+    let outcomes: Vec<RunOutcome> = Benchmark::ALL
+        .iter()
+        .map(|&b| run_cell(spec, 1, b, 2024, config))
+        .collect();
+
+    // (b) Measurement error-rate ratio sweep: eff_CNOTs improvement.
+    println!("\n# fig13b: eff_CNOTs improvement vs meas/on-chip error ratio");
+    if args.csv {
+        println!("meas_ratio,program,eff_improvement");
+    } else {
+        println!("{:>10} {:<10} {:>18}", "ratio", "program", "eff improvement");
+    }
+    for &ratio in &[0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
+        let cost = CostModel {
+            meas_error_ratio: ratio,
+            ..CostModel::default()
+        };
+        for o in &outcomes {
+            let (b, m) = eff_with(o, cost);
+            let imp = 1.0 - m / b;
+            if args.csv {
+                println!("{ratio},{},{imp:.4}", o.bench);
+            } else {
+                println!("{:>10} {:<10} {:>17.1}%", ratio, o.bench.name(), 100.0 * imp);
+            }
+        }
+    }
+
+    // (c) Cross-chip error-rate ratio sweep: eff_CNOTs improvement.
+    println!("\n# fig13c: eff_CNOTs improvement vs cross/on-chip error ratio");
+    if args.csv {
+        println!("cross_ratio,program,eff_improvement");
+    } else {
+        println!("{:>10} {:<10} {:>18}", "ratio", "program", "eff improvement");
+    }
+    for &ratio in &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0] {
+        let cost = CostModel {
+            cross_error_ratio: ratio,
+            ..CostModel::default()
+        };
+        for o in &outcomes {
+            let (b, m) = eff_with(o, cost);
+            let imp = 1.0 - m / b;
+            if args.csv {
+                println!("{ratio},{},{imp:.4}", o.bench);
+            } else {
+                println!("{:>10} {:<10} {:>17.1}%", ratio, o.bench.name(), 100.0 * imp);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Reproduces **Fig. 14**: performance normalized to the baseline for
+//! cross-chip link sparsity 7/7, 3/7 and 1/7 on a 3×3 array of 7×7 square
+//! chiplets.
+//!
+//! Usage: `cargo run --release -p mech-bench --bin fig14_sparsity [-- --quick --csv]`
+
+use mech::CompilerConfig;
+use mech_bench::{run_cell, HarnessArgs};
+use mech_chiplet::ChipletSpec;
+use mech_circuit::benchmarks::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let config = CompilerConfig::default();
+    let kept: &[u32] = if args.quick { &[7, 1] } else { &[7, 3, 1] };
+
+    if args.csv {
+        println!("sparsity,program,normalized_depth,normalized_eff_cnots");
+    } else {
+        println!(
+            "{:>9} {:<10} {:>17} {:>21}",
+            "sparsity", "program", "normalized depth", "normalized eff_CNOTs"
+        );
+    }
+    for &k in kept {
+        let d = if args.quick { 5 } else { 7 };
+        let (rows, cols) = if args.quick { (2, 2) } else { (3, 3) };
+        let spec = ChipletSpec::square(d, rows, cols).with_cross_links_per_edge(k);
+        for bench in Benchmark::ALL {
+            let o = run_cell(spec, 1, bench, 2024, config);
+            let nd = o.mech.depth as f64 / o.baseline.depth as f64;
+            let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
+            if args.csv {
+                println!("{k}/{d},{bench},{nd:.4},{ne:.4}");
+            } else {
+                println!(
+                    "{:>9} {:<10} {:>17.3} {:>21.3}",
+                    format!("{k}/{d}"),
+                    bench.name(),
+                    nd,
+                    ne
+                );
+            }
+        }
+    }
+}

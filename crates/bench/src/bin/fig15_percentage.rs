@@ -1,0 +1,57 @@
+//! Reproduces **Fig. 15**: performance normalized to the baseline for
+//! highway qubit percentages — corridor density 1 (single), 2 (double) and
+//! 3 (triple) — on a 2×3 array of 9×9 square chiplets. As in the paper,
+//! the baseline circuit size equals the number of data qubits at each
+//! density.
+//!
+//! Usage: `cargo run --release -p mech-bench --bin fig15_percentage [-- --quick --csv]`
+
+use mech::CompilerConfig;
+use mech_bench::{run_cell, HarnessArgs};
+use mech_chiplet::ChipletSpec;
+use mech_circuit::benchmarks::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let densities: &[u32] = if args.quick { &[1, 2] } else { &[1, 2, 3] };
+    let spec = if args.quick {
+        ChipletSpec::square(7, 1, 2)
+    } else {
+        ChipletSpec::square(9, 2, 3)
+    };
+
+    if args.csv {
+        println!("density,highway_pct,program,normalized_depth,normalized_eff_cnots");
+    } else {
+        println!(
+            "{:>8} {:>7} {:<10} {:>17} {:>21}",
+            "density", "hw %", "program", "normalized depth", "normalized eff_CNOTs"
+        );
+    }
+    for &density in densities {
+        let config = CompilerConfig {
+            highway_density: density,
+            ..CompilerConfig::default()
+        };
+        for bench in Benchmark::ALL {
+            let o = run_cell(spec, density, bench, 2024, config);
+            let nd = o.mech.depth as f64 / o.baseline.depth as f64;
+            let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
+            if args.csv {
+                println!(
+                    "{density},{:.3},{},{nd:.4},{ne:.4}",
+                    o.highway_pct, bench
+                );
+            } else {
+                println!(
+                    "{:>8} {:>6.1}% {:<10} {:>17.3} {:>21.3}",
+                    density,
+                    100.0 * o.highway_pct,
+                    bench.name(),
+                    nd,
+                    ne
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Reproduces **Fig. 16**: performance normalized to the baseline across
+//! coupling structures — square (7×7 on 3×3), hexagon (8×8 on 2×3),
+//! heavy-square (8×8 on 3×3) and heavy-hexagon (8×8 on 3×4), matching the
+//! paper's sq-360 / hex-312 / heavy-sq-351 / heavy-hex-336 settings.
+//!
+//! Usage: `cargo run --release -p mech-bench --bin fig16_coupling [-- --quick --csv]`
+
+use mech::CompilerConfig;
+use mech_bench::{run_cell, HarnessArgs};
+use mech_chiplet::{ChipletSpec, CouplingStructure};
+use mech_circuit::benchmarks::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let config = CompilerConfig::default();
+    let settings: Vec<(CouplingStructure, u32, u32, u32)> = if args.quick {
+        vec![
+            (CouplingStructure::Square, 5, 2, 2),
+            (CouplingStructure::Hexagon, 6, 2, 2),
+        ]
+    } else {
+        vec![
+            (CouplingStructure::Square, 7, 3, 3),
+            (CouplingStructure::Hexagon, 8, 2, 3),
+            (CouplingStructure::HeavySquare, 8, 3, 3),
+            (CouplingStructure::HeavyHexagon, 8, 3, 4),
+        ]
+    };
+
+    if args.csv {
+        println!("structure,program,normalized_depth,normalized_eff_cnots");
+    } else {
+        println!(
+            "{:<16} {:<10} {:>17} {:>21}",
+            "structure", "program", "normalized depth", "normalized eff_CNOTs"
+        );
+    }
+    for (structure, d, rows, cols) in settings {
+        let spec = ChipletSpec::new(structure, d, rows, cols);
+        for bench in Benchmark::ALL {
+            let o = run_cell(spec, 1, bench, 2024, config);
+            let nd = o.mech.depth as f64 / o.baseline.depth as f64;
+            let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
+            if args.csv {
+                println!("{structure},{}-{},{nd:.4},{ne:.4}", o.bench, o.data_qubits);
+            } else {
+                println!(
+                    "{:<16} {:<10} {:>17.3} {:>21.3}",
+                    structure.name(),
+                    format!("{}-{}", o.bench, o.data_qubits),
+                    nd,
+                    ne
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Reproduces **Table 2**: MECH vs. baseline on 3×3 arrays of square
+//! chiplets with sizes 6×6 … 9×9, for QFT / QAOA / VQE / BV.
+//!
+//! Usage: `cargo run --release -p mech-bench --bin table2 [-- --quick --csv]`
+
+use mech::CompilerConfig;
+use mech_bench::{print_header, print_row, run_cell, HarnessArgs};
+use mech_chiplet::ChipletSpec;
+use mech_circuit::benchmarks::Benchmark;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sizes: &[u32] = if args.quick { &[6] } else { &[6, 7, 8, 9] };
+    let config = CompilerConfig::default();
+
+    print_header(args.csv);
+    for &d in sizes {
+        let spec = ChipletSpec::square(d, 3, 3);
+        for bench in Benchmark::ALL {
+            let o = run_cell(spec, 1, bench, 2024, config);
+            print_row(&o, args.csv);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared experiment harness for the MECH reproduction.
+//!
+//! Each binary in this crate regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` §4 for the index). This library
+//! holds the common machinery: building a device + highway, generating the
+//! benchmark sized to the data region, compiling with both MECH and the
+//! SABRE baseline, and formatting rows.
+
+use std::time::Instant;
+
+use mech::mech_highway::ShuttleStats;
+use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
+use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech_circuit::benchmarks::Benchmark;
+
+/// Everything measured for one (architecture, program) cell.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Program family.
+    pub bench: Benchmark,
+    /// Number of data qubits (program width).
+    pub data_qubits: u32,
+    /// Total device qubits.
+    pub total_qubits: u32,
+    /// Baseline (SABRE) metrics.
+    pub baseline: Metrics,
+    /// MECH metrics.
+    pub mech: Metrics,
+    /// Highway shuttle counters.
+    pub shuttle: ShuttleStats,
+    /// Fraction of qubits used as highway ancillas.
+    pub highway_pct: f64,
+    /// Wall-clock seconds spent in the MECH compiler.
+    pub mech_secs: f64,
+    /// Wall-clock seconds spent in the baseline compiler.
+    pub baseline_secs: f64,
+}
+
+impl RunOutcome {
+    /// `1 − mech/baseline` for depth.
+    pub fn depth_improvement(&self) -> f64 {
+        self.mech.depth_improvement_over(&self.baseline)
+    }
+
+    /// `1 − mech/baseline` for effective CNOTs.
+    pub fn eff_improvement(&self) -> f64 {
+        self.mech.eff_cnots_improvement_over(&self.baseline)
+    }
+}
+
+/// Builds the device described by `spec` with a density-`density` highway,
+/// generates `bench` at the data-region width, and compiles it with both
+/// pipelines.
+///
+/// # Panics
+///
+/// Panics if compilation fails (layout bugs — the harness treats them as
+/// fatal).
+pub fn run_cell(
+    spec: ChipletSpec,
+    density: u32,
+    bench: Benchmark,
+    seed: u64,
+    config: CompilerConfig,
+) -> RunOutcome {
+    let topo = spec.build();
+    let layout = HighwayLayout::generate(&topo, density);
+    let n = layout.num_data_qubits();
+    let program = bench.generate(n, seed);
+
+    let t = Instant::now();
+    let mech = MechCompiler::new(&topo, &layout, config)
+        .compile(&program)
+        .expect("MECH compilation");
+    let mech_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let baseline = BaselineCompiler::new(&topo, config)
+        .compile(&program)
+        .expect("baseline compilation");
+    let baseline_secs = t.elapsed().as_secs_f64();
+
+    RunOutcome {
+        bench,
+        data_qubits: n,
+        total_qubits: topo.num_qubits(),
+        baseline: Metrics::from_circuit(&baseline),
+        mech: mech.metrics(),
+        shuttle: mech.shuttle_stats,
+        highway_pct: mech.highway_percentage,
+        mech_secs,
+        baseline_secs,
+    }
+}
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HarnessArgs {
+    /// Shrink architectures for a fast smoke run.
+    pub quick: bool,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl HarnessArgs {
+    /// Parses `--quick` / `--csv` from the process arguments; anything else
+    /// prints usage and exits.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--quick" => args.quick = true,
+                "--csv" => args.csv = true,
+                other => {
+                    eprintln!("unknown argument {other}; supported: --quick --csv");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+/// Prints one outcome row in the Table-2 format.
+pub fn print_row(o: &RunOutcome, csv: bool) {
+    if csv {
+        println!(
+            "{}-{},{},{},{:.3},{:.0},{:.0},{:.3},{:.3}",
+            o.bench,
+            o.data_qubits,
+            o.baseline.depth,
+            o.mech.depth,
+            o.depth_improvement(),
+            o.baseline.eff_cnots,
+            o.mech.eff_cnots,
+            o.eff_improvement(),
+            o.highway_pct
+        );
+    } else {
+        println!(
+            "{:<10} {:>12} {:>10} {:>8.1}% {:>14.0} {:>12.0} {:>8.1}% {:>8.1}%",
+            format!("{}-{}", o.bench, o.data_qubits),
+            o.baseline.depth,
+            o.mech.depth,
+            100.0 * o.depth_improvement(),
+            o.baseline.eff_cnots,
+            o.mech.eff_cnots,
+            100.0 * o.eff_improvement(),
+            100.0 * o.highway_pct
+        );
+    }
+}
+
+/// Prints the Table-2 header.
+pub fn print_header(csv: bool) {
+    if csv {
+        println!(
+            "program,baseline_depth,mech_depth,depth_improvement,baseline_eff_cnots,mech_eff_cnots,eff_improvement,highway_pct"
+        );
+    } else {
+        println!(
+            "{:<10} {:>12} {:>10} {:>9} {:>14} {:>12} {:>9} {:>9}",
+            "program",
+            "base depth",
+            "mech",
+            "improve",
+            "base eff_CNOT",
+            "mech eff",
+            "improve",
+            "hw %"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_produces_consistent_outcome() {
+        let spec = ChipletSpec::square(5, 1, 2);
+        let o = run_cell(
+            spec,
+            1,
+            Benchmark::Bv,
+            1,
+            CompilerConfig::default(),
+        );
+        assert!(o.data_qubits > 0);
+        assert!(o.mech.depth > 0 && o.baseline.depth > 0);
+        assert!(o.highway_pct > 0.0);
+        assert!(o.depth_improvement() <= 1.0);
+    }
+}

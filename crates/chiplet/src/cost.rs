@@ -1,0 +1,71 @@
+//! The hardware cost model: operation latencies and error-rate ratios.
+
+/// Latency and fidelity parameters of the chiplet hardware, in units of one
+/// on-chip CNOT.
+///
+/// Defaults follow the paper's §7.2 calibration: measurements take 2 CNOT
+/// durations (IBM calibration data), cross-chip CNOTs are 7.4× as
+/// error-prone as on-chip ones (flip-chip bonds vs. interference couplers)
+/// and measurements 2.2×. One-qubit gates are free. The sensitivity
+/// analyses (paper Fig. 13) sweep these fields.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::CostModel;
+/// let cost = CostModel::default();
+/// assert_eq!(cost.meas_latency, 2);
+/// let tweaked = CostModel { cross_error_ratio: 9.0, ..CostModel::default() };
+/// assert!(tweaked.cross_error_ratio > cost.cross_error_ratio);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Duration of a measurement, in CNOT durations (depth units).
+    pub meas_latency: u32,
+    /// `p_cross / p_on`: error-rate ratio of cross-chip to on-chip CNOTs.
+    pub cross_error_ratio: f64,
+    /// `p_meas / p_on`: error-rate ratio of measurements to on-chip CNOTs.
+    pub meas_error_ratio: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            meas_latency: 2,
+            cross_error_ratio: 7.4,
+            meas_error_ratio: 2.2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Effective CNOT count for the given operation tallies (paper §7.1):
+    /// `#on + (p_cross/p_on)·#cross + (p_meas/p_on)·#meas`.
+    pub fn eff_cnots(&self, on_chip: u64, cross_chip: u64, measurements: u64) -> f64 {
+        on_chip as f64
+            + self.cross_error_ratio * cross_chip as f64
+            + self.meas_error_ratio * measurements as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_calibration() {
+        let c = CostModel::default();
+        assert_eq!(c.meas_latency, 2);
+        assert!((c.cross_error_ratio - 7.4).abs() < 1e-12);
+        assert!((c.meas_error_ratio - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eff_cnots_weighs_each_category() {
+        let c = CostModel::default();
+        assert!((c.eff_cnots(10, 0, 0) - 10.0).abs() < 1e-9);
+        assert!((c.eff_cnots(0, 10, 0) - 74.0).abs() < 1e-9);
+        assert!((c.eff_cnots(0, 0, 10) - 22.0).abs() < 1e-9);
+        assert!((c.eff_cnots(1, 1, 1) - 10.6).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! BFS path-finding helpers shared by the highway generator and routers.
+
+use std::collections::VecDeque;
+
+use crate::ids::PhysQubit;
+use crate::topology::Topology;
+
+/// Hop distances from `src` to every qubit (`u32::MAX` if unreachable).
+pub fn bfs_distances(topo: &Topology, src: PhysQubit) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; topo.num_qubits() as usize];
+    dist[src.index()] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(q) = queue.pop_front() {
+        for link in topo.neighbors(q) {
+            if dist[link.to.index()] == u32::MAX {
+                dist[link.to.index()] = dist[q.index()] + 1;
+                queue.push_back(link.to);
+            }
+        }
+    }
+    dist
+}
+
+/// A shortest path from `src` to `dst` (inclusive of both endpoints), or
+/// `None` if unreachable.
+pub fn shortest_path(topo: &Topology, src: PhysQubit, dst: PhysQubit) -> Option<Vec<PhysQubit>> {
+    shortest_path_avoiding(topo, src, dst, |_| false)
+}
+
+/// A shortest path from `src` to `dst` that never visits a qubit for which
+/// `blocked` returns `true` (endpoints are exempt from the predicate).
+///
+/// Used by the local router to route data qubits around the highway, and by
+/// the highway generator to carve corridors inside a single chiplet.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{shortest_path_avoiding, ChipletSpec};
+/// let topo = ChipletSpec::square(5, 1, 1).build();
+/// let a = topo.qubit_at(0, 0).unwrap();
+/// let b = topo.qubit_at(0, 4).unwrap();
+/// // Block the direct row; the path must detour.
+/// let path = shortest_path_avoiding(&topo, a, b, |q| topo.coord(q) == (0, 2)).unwrap();
+/// assert!(path.len() > 5);
+/// ```
+pub fn shortest_path_avoiding<F>(
+    topo: &Topology,
+    src: PhysQubit,
+    dst: PhysQubit,
+    blocked: F,
+) -> Option<Vec<PhysQubit>>
+where
+    F: Fn(PhysQubit) -> bool,
+{
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let n = topo.num_qubits() as usize;
+    let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
+    let mut seen = vec![false; n];
+    seen[src.index()] = true;
+    let mut queue = VecDeque::from([src]);
+    while let Some(q) = queue.pop_front() {
+        for link in topo.neighbors(q) {
+            let to = link.to;
+            if seen[to.index()] || (to != dst && blocked(to)) {
+                continue;
+            }
+            seen[to.index()] = true;
+            prev[to.index()] = Some(q);
+            if to == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while let Some(p) = prev[cur.index()] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(to);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ChipletSpec;
+
+    #[test]
+    fn bfs_matches_distance_table() {
+        let t = ChipletSpec::square(4, 1, 2).build();
+        let d = bfs_distances(&t, PhysQubit(0));
+        for q in t.qubits() {
+            assert_eq!(d[q.index()], t.distance(PhysQubit(0), q));
+        }
+    }
+
+    #[test]
+    fn shortest_path_endpoints_and_length() {
+        let t = ChipletSpec::square(5, 1, 1).build();
+        let a = t.qubit_at(0, 0).unwrap();
+        let b = t.qubit_at(4, 4).unwrap();
+        let p = shortest_path(&t, a, b).unwrap();
+        assert_eq!(p.first(), Some(&a));
+        assert_eq!(p.last(), Some(&b));
+        assert_eq!(p.len() as u32, t.distance(a, b) + 1);
+        for w in p.windows(2) {
+            assert!(t.are_coupled(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn trivial_path_is_single_node() {
+        let t = ChipletSpec::square(3, 1, 1).build();
+        let p = shortest_path(&t, PhysQubit(0), PhysQubit(0)).unwrap();
+        assert_eq!(p, vec![PhysQubit(0)]);
+    }
+
+    #[test]
+    fn fully_blocked_returns_none() {
+        let t = ChipletSpec::square(3, 1, 1).build();
+        let a = t.qubit_at(0, 0).unwrap();
+        let b = t.qubit_at(2, 2).unwrap();
+        assert!(shortest_path_avoiding(&t, a, b, |_| true).is_none());
+    }
+}

@@ -1,0 +1,341 @@
+//! Physical circuits: timed operations on physical qubits.
+//!
+//! A [`PhysCircuit`] is the output of both compilers. Operations are
+//! scheduled ASAP — each op starts at the latest availability time of its
+//! operands (optionally later, for protocol synchronization points) — so
+//! circuit depth falls out of per-qubit clocks. Costs follow the paper's
+//! metric: two-qubit gates have unit duration, measurements take
+//! [`CostModel::meas_latency`], one-qubit gates and classical corrections
+//! are free.
+
+use crate::cost::CostModel;
+use crate::ids::{LinkKind, PhysQubit};
+use crate::topology::Topology;
+
+/// The kind of a physical operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysOpKind {
+    /// A two-qubit entangling gate (CNOT/CZ — same cost) over a link of the
+    /// given kind.
+    TwoQubit(LinkKind),
+    /// Any one-qubit gate (free in the cost model).
+    OneQubit,
+    /// A computational-basis measurement.
+    Measure,
+}
+
+/// One scheduled physical operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysOp {
+    /// Operation kind.
+    pub kind: PhysOpKind,
+    /// First operand.
+    pub a: PhysQubit,
+    /// Second operand for two-qubit kinds.
+    pub b: Option<PhysQubit>,
+    /// Start time in depth units.
+    pub start: u64,
+    /// Duration in depth units.
+    pub duration: u32,
+}
+
+impl PhysOp {
+    /// The time at which the op finishes.
+    pub fn end(&self) -> u64 {
+        self.start + u64::from(self.duration)
+    }
+}
+
+/// Tallies of the error-prone operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// On-chip two-qubit gates.
+    pub on_chip_cnots: u64,
+    /// Cross-chip two-qubit gates.
+    pub cross_chip_cnots: u64,
+    /// Measurements.
+    pub measurements: u64,
+    /// One-qubit gates (not error-weighted, tracked for completeness).
+    pub one_qubit: u64,
+}
+
+/// A growing, ASAP-scheduled physical circuit.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{ChipletSpec, CostModel, PhysCircuit, PhysQubit};
+/// let topo = ChipletSpec::square(4, 1, 1).build();
+/// let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+/// let (a, b) = (PhysQubit(0), PhysQubit(1));
+/// pc.two_qubit(&topo, a, b);
+/// pc.two_qubit(&topo, a, PhysQubit(4));
+/// assert_eq!(pc.depth(), 2); // serialized on qubit 0
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhysCircuit {
+    cost: CostModel,
+    ops: Vec<PhysOp>,
+    clock: Vec<u64>,
+    counts: OpCounts,
+}
+
+impl PhysCircuit {
+    /// Creates an empty circuit over `num_qubits` physical qubits.
+    pub fn new(num_qubits: u32, cost: CostModel) -> Self {
+        PhysCircuit {
+            cost,
+            ops: Vec::new(),
+            clock: vec![0; num_qubits as usize],
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The scheduled operations, in emission order.
+    pub fn ops(&self) -> &[PhysOp] {
+        &self.ops
+    }
+
+    /// The availability time of qubit `q`.
+    pub fn time(&self, q: PhysQubit) -> u64 {
+        self.clock[q.index()]
+    }
+
+    /// Moves qubit `q`'s clock forward to at least `t` (protocol
+    /// synchronization, e.g. waiting for a classically fed-forward
+    /// correction).
+    pub fn advance(&mut self, q: PhysQubit, t: u64) {
+        let c = &mut self.clock[q.index()];
+        *c = (*c).max(t);
+    }
+
+    /// Schedules a two-qubit gate between coupled qubits, starting no
+    /// earlier than `not_before`. Returns the start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not coupled in `topo` — emitting such a
+    /// gate is always a compiler bug.
+    pub fn two_qubit_after(
+        &mut self,
+        topo: &Topology,
+        a: PhysQubit,
+        b: PhysQubit,
+        not_before: u64,
+    ) -> u64 {
+        let kind = topo
+            .coupling(a, b)
+            .unwrap_or_else(|| panic!("two-qubit gate on uncoupled pair {a}, {b}"));
+        let start = self.time(a).max(self.time(b)).max(not_before);
+        let end = start + 1;
+        self.clock[a.index()] = end;
+        self.clock[b.index()] = end;
+        match kind {
+            LinkKind::OnChip => self.counts.on_chip_cnots += 1,
+            LinkKind::CrossChip => self.counts.cross_chip_cnots += 1,
+        }
+        self.ops.push(PhysOp {
+            kind: PhysOpKind::TwoQubit(kind),
+            a,
+            b: Some(b),
+            start,
+            duration: 1,
+        });
+        start
+    }
+
+    /// Schedules a two-qubit gate ASAP. Returns the start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits are not coupled.
+    pub fn two_qubit(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit) -> u64 {
+        self.two_qubit_after(topo, a, b, 0)
+    }
+
+    /// Schedules a SWAP as three CNOTs over the same link. Returns the
+    /// start time of the first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits are not coupled.
+    pub fn swap(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit) -> u64 {
+        let s = self.two_qubit(topo, a, b);
+        self.two_qubit(topo, a, b);
+        self.two_qubit(topo, a, b);
+        s
+    }
+
+    /// Schedules a bridge gate — an effective CNOT between `a` and `c`
+    /// through the middle qubit `b`, leaving `b`'s state untouched — as 4
+    /// CNOTs (paper Fig. 2b). Returns the start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(a, b)` or `(b, c)` are not coupled.
+    pub fn bridge(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit, c: PhysQubit) -> u64 {
+        let s = self.two_qubit(topo, b, c);
+        self.two_qubit(topo, a, b);
+        self.two_qubit(topo, b, c);
+        self.two_qubit(topo, a, b);
+        s
+    }
+
+    /// Records a (free) one-qubit gate on `q`.
+    pub fn one_qubit(&mut self, q: PhysQubit) {
+        self.counts.one_qubit += 1;
+        self.ops.push(PhysOp {
+            kind: PhysOpKind::OneQubit,
+            a: q,
+            b: None,
+            start: self.time(q),
+            duration: 0,
+        });
+    }
+
+    /// Schedules a measurement of `q`, starting no earlier than
+    /// `not_before`. Returns the time at which the (classical) outcome is
+    /// available.
+    pub fn measure_after(&mut self, q: PhysQubit, not_before: u64) -> u64 {
+        let start = self.time(q).max(not_before);
+        let end = start + u64::from(self.cost.meas_latency);
+        self.clock[q.index()] = end;
+        self.counts.measurements += 1;
+        self.ops.push(PhysOp {
+            kind: PhysOpKind::Measure,
+            a: q,
+            b: None,
+            start,
+            duration: self.cost.meas_latency,
+        });
+        end
+    }
+
+    /// Schedules a measurement ASAP. Returns the outcome time.
+    pub fn measure(&mut self, q: PhysQubit) -> u64 {
+        self.measure_after(q, 0)
+    }
+
+    /// Circuit depth: the latest clock across all qubits.
+    pub fn depth(&self) -> u64 {
+        self.clock.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Operation tallies.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Effective CNOT count under this circuit's cost model (paper §7.1).
+    pub fn eff_cnots(&self) -> f64 {
+        self.cost.eff_cnots(
+            self.counts.on_chip_cnots,
+            self.counts.cross_chip_cnots,
+            self.counts.measurements,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ChipletSpec;
+
+    fn topo2() -> Topology {
+        ChipletSpec::square(4, 1, 2).build()
+    }
+
+    #[test]
+    fn asap_scheduling_tracks_operand_clocks() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        assert_eq!(pc.two_qubit(&t, PhysQubit(0), PhysQubit(1)), 0);
+        assert_eq!(pc.two_qubit(&t, PhysQubit(2), PhysQubit(3)), 0);
+        assert_eq!(pc.two_qubit(&t, PhysQubit(1), PhysQubit(2)), 1);
+        assert_eq!(pc.depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncoupled")]
+    fn uncoupled_two_qubit_panics() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.two_qubit(&t, PhysQubit(0), PhysQubit(5));
+    }
+
+    #[test]
+    fn swap_is_three_cnots() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.swap(&t, PhysQubit(0), PhysQubit(1));
+        assert_eq!(pc.counts().on_chip_cnots, 3);
+        assert_eq!(pc.depth(), 3);
+    }
+
+    #[test]
+    fn bridge_is_four_cnots_leaving_middle_busy() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.bridge(&t, PhysQubit(0), PhysQubit(1), PhysQubit(2));
+        assert_eq!(pc.counts().on_chip_cnots, 4);
+        assert_eq!(pc.time(PhysQubit(1)), 4);
+    }
+
+    #[test]
+    fn measurement_latency_follows_cost_model() {
+        let t = topo2();
+        let cost = CostModel {
+            meas_latency: 5,
+            ..CostModel::default()
+        };
+        let mut pc = PhysCircuit::new(t.num_qubits(), cost);
+        let done = pc.measure(PhysQubit(0));
+        assert_eq!(done, 5);
+        assert_eq!(pc.depth(), 5);
+    }
+
+    #[test]
+    fn cross_chip_gates_counted_separately() {
+        let t = topo2();
+        let a = t.qubit_at(0, 3).unwrap();
+        let b = t.qubit_at(0, 4).unwrap();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.two_qubit(&t, a, b);
+        assert_eq!(pc.counts().cross_chip_cnots, 1);
+        assert_eq!(pc.counts().on_chip_cnots, 0);
+        assert!((pc.eff_cnots() - 7.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn advance_and_after_create_idle_gaps() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.advance(PhysQubit(0), 10);
+        let s = pc.two_qubit_after(&t, PhysQubit(0), PhysQubit(1), 12);
+        assert_eq!(s, 12);
+        assert_eq!(pc.time(PhysQubit(1)), 13);
+    }
+
+    #[test]
+    fn one_qubit_gates_are_free() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.one_qubit(PhysQubit(0));
+        assert_eq!(pc.depth(), 0);
+        assert_eq!(pc.counts().one_qubit, 1);
+    }
+
+    #[test]
+    fn op_end_accounts_duration() {
+        let t = topo2();
+        let mut pc = PhysCircuit::new(t.num_qubits(), CostModel::default());
+        pc.measure(PhysQubit(3));
+        let op = pc.ops()[0];
+        assert_eq!(op.end(), 2);
+    }
+}

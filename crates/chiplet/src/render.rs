@@ -1,0 +1,113 @@
+//! ASCII rendering of chiplet arrays and highway layouts.
+//!
+//! Intended for documentation, examples and debugging: one character per
+//! footprint cell, with chiplet boundaries drawn between cells.
+//!
+//! Legend: `#` highway qubit, `o` bridge interval (data qubit inside a
+//! highway corridor), `.` ordinary data qubit, space = unoccupied footprint
+//! cell, `|`/`-` chiplet boundaries.
+
+use crate::highway::{HighwayEdgeKind, HighwayLayout};
+use crate::topology::Topology;
+
+/// Renders the device as ASCII art, marking highway qubits.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{render_layout, ChipletSpec, HighwayLayout};
+/// let topo = ChipletSpec::square(5, 1, 1).build();
+/// let hw = HighwayLayout::generate(&topo, 1);
+/// let art = render_layout(&topo, &hw);
+/// assert!(art.contains('#'));
+/// ```
+pub fn render_layout(topo: &Topology, layout: &HighwayLayout) -> String {
+    let (rows, cols) = topo.grid_dims();
+    let d = topo.spec().chiplet_size();
+
+    // Bridge intervals get their own glyph.
+    let mut is_interval = vec![false; topo.num_qubits() as usize];
+    for e in layout.edges() {
+        if let HighwayEdgeKind::Bridge { via } = e.kind {
+            is_interval[via.index()] = true;
+        }
+    }
+
+    let mut out = String::new();
+    for gr in 0..rows {
+        if gr > 0 && gr % d == 0 {
+            // Horizontal chiplet boundary.
+            for gc in 0..cols {
+                if gc > 0 && gc % d == 0 {
+                    out.push('+');
+                    out.push(' ');
+                }
+                out.push('-');
+                out.push(' ');
+            }
+            out.pop();
+            out.push('\n');
+        }
+        for gc in 0..cols {
+            if gc > 0 && gc % d == 0 {
+                out.push('|');
+                out.push(' ');
+            }
+            let ch = match topo.qubit_at(gr, gc) {
+                Some(q) if layout.is_highway(q) => '#',
+                Some(q) if is_interval[q.index()] => 'o',
+                Some(_) => '.',
+                None => ' ',
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.pop();
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ChipletSpec, CouplingStructure};
+
+    #[test]
+    fn renders_every_cell_once() {
+        let topo = ChipletSpec::square(4, 1, 1).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        let art = render_layout(&topo, &hw);
+        let qubit_glyphs = art.chars().filter(|c| "#o.".contains(*c)).count();
+        assert_eq!(qubit_glyphs, topo.num_qubits() as usize);
+    }
+
+    #[test]
+    fn highway_count_matches_layout() {
+        let topo = ChipletSpec::square(7, 2, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        let art = render_layout(&topo, &hw);
+        let hashes = art.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes, hw.num_highway_qubits());
+    }
+
+    #[test]
+    fn chiplet_boundaries_are_drawn() {
+        let topo = ChipletSpec::square(4, 2, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        let art = render_layout(&topo, &hw);
+        assert!(art.contains('|'));
+        assert!(art.contains('-'));
+    }
+
+    #[test]
+    fn heavy_lattices_show_empty_cells() {
+        let topo = ChipletSpec::new(CouplingStructure::HeavySquare, 6, 1, 1).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        let art = render_layout(&topo, &hw);
+        // Odd-odd cells are unoccupied: at least one double space remains.
+        let occupied = art.chars().filter(|c| "#o.".contains(*c)).count();
+        assert_eq!(occupied, topo.num_qubits() as usize);
+        assert!(topo.num_qubits() < 36);
+    }
+}

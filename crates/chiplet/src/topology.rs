@@ -1,0 +1,413 @@
+use std::collections::VecDeque;
+
+use crate::ids::{ChipletId, LinkKind, PhysQubit};
+use crate::spec::{evenly_spaced, ChipletSpec};
+use crate::structures::{cells_coupled, has_qubit};
+
+/// One coupling link out of a qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// The neighboring qubit.
+    pub to: PhysQubit,
+    /// Whether the link crosses a chiplet boundary.
+    pub kind: LinkKind,
+}
+
+/// A chiplet-array coupling graph.
+///
+/// Qubits are indexed densely in global-grid row-major order. The topology
+/// records, per qubit, its global grid coordinate, owning chiplet and
+/// adjacency (with on-chip/cross-chip tags), plus an all-pairs hop-distance
+/// table used by the routers.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{ChipletSpec, PhysQubit};
+/// let topo = ChipletSpec::square(4, 1, 2).build();
+/// assert_eq!(topo.num_qubits(), 32);
+/// // Corner to far corner: Manhattan distance on the joined grid.
+/// let a = topo.qubit_at(0, 0).unwrap();
+/// let b = topo.qubit_at(3, 7).unwrap();
+/// assert_eq!(topo.distance(a, b), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    spec: ChipletSpec,
+    grid_rows: u32,
+    grid_cols: u32,
+    /// grid[gr * grid_cols + gc] = qubit at that cell, if occupied.
+    grid: Vec<Option<PhysQubit>>,
+    coords: Vec<(u32, u32)>,
+    chiplet_of: Vec<ChipletId>,
+    adj: Vec<Vec<Link>>,
+    /// Row-major `num_qubits × num_qubits` hop distances (`u16::MAX` =
+    /// unreachable, which never happens for valid specs).
+    dist: Vec<u16>,
+    num_cross_links: usize,
+}
+
+impl Topology {
+    pub(crate) fn build(spec: ChipletSpec) -> Topology {
+        let d = spec.chiplet_size();
+        let grid_rows = spec.array_rows() * d;
+        let grid_cols = spec.array_cols() * d;
+        let structure = spec.structure();
+
+        let mut grid = vec![None; (grid_rows * grid_cols) as usize];
+        let mut coords = Vec::new();
+        let mut chiplet_of = Vec::new();
+
+        for gr in 0..grid_rows {
+            for gc in 0..grid_cols {
+                let (r, c) = (gr % d, gc % d);
+                if has_qubit(structure, r, c, d) {
+                    let id = PhysQubit(coords.len() as u32);
+                    grid[(gr * grid_cols + gc) as usize] = Some(id);
+                    coords.push((gr, gc));
+                    let chip = ChipletId((gr / d) * spec.array_cols() + (gc / d));
+                    chiplet_of.push(chip);
+                }
+            }
+        }
+
+        let n = coords.len();
+        let mut adj: Vec<Vec<Link>> = vec![Vec::new(); n];
+        let at = |gr: u32, gc: u32| -> Option<PhysQubit> {
+            if gr < grid_rows && gc < grid_cols {
+                grid[(gr * grid_cols + gc) as usize]
+            } else {
+                None
+            }
+        };
+        let mut num_cross_links = 0usize;
+
+        // On-chip links: orthogonal neighbors within the same chiplet.
+        for (idx, &(gr, gc)) in coords.iter().enumerate() {
+            let q = PhysQubit(idx as u32);
+            for (nr, nc) in [(gr + 1, gc), (gr, gc + 1)] {
+                if nr / d != gr / d || nc / d != gc / d {
+                    continue; // crosses a chiplet boundary; handled below
+                }
+                if let Some(nb) = at(nr, nc) {
+                    let (r, c) = (gr % d, gc % d);
+                    let (r2, c2) = (nr % d, nc % d);
+                    if cells_coupled(structure, r, c, r2, c2) {
+                        adj[q.index()].push(Link {
+                            to: nb,
+                            kind: LinkKind::OnChip,
+                        });
+                        adj[nb.index()].push(Link {
+                            to: q,
+                            kind: LinkKind::OnChip,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Cross-chip links: facing boundary qubits, sparsified per edge.
+        let keep = spec.cross_links_per_edge();
+        let mut add_cross = |pairs: Vec<(PhysQubit, PhysQubit)>,
+                             adj: &mut Vec<Vec<Link>>| {
+            let kept_idx = match keep {
+                Some(k) => evenly_spaced(pairs.len() as u32, k),
+                None => (0..pairs.len() as u32).collect(),
+            };
+            for i in kept_idx {
+                let (a, b) = pairs[i as usize];
+                adj[a.index()].push(Link {
+                    to: b,
+                    kind: LinkKind::CrossChip,
+                });
+                adj[b.index()].push(Link {
+                    to: a,
+                    kind: LinkKind::CrossChip,
+                });
+                num_cross_links += 1;
+            }
+        };
+
+        // Vertical chiplet boundaries (east-west neighbors).
+        for ci in 0..spec.array_rows() {
+            for cj in 0..spec.array_cols().saturating_sub(1) {
+                let east_col = cj * d + d - 1;
+                let west_col = (cj + 1) * d;
+                let mut pairs = Vec::new();
+                for r in 0..d {
+                    let gr = ci * d + r;
+                    if let (Some(a), Some(b)) = (at(gr, east_col), at(gr, west_col)) {
+                        pairs.push((a, b));
+                    }
+                }
+                add_cross(pairs, &mut adj);
+            }
+        }
+        // Horizontal chiplet boundaries (north-south neighbors).
+        for ci in 0..spec.array_rows().saturating_sub(1) {
+            for cj in 0..spec.array_cols() {
+                let south_row = ci * d + d - 1;
+                let north_row = (ci + 1) * d;
+                let mut pairs = Vec::new();
+                for c in 0..d {
+                    let gc = cj * d + c;
+                    if let (Some(a), Some(b)) = (at(south_row, gc), at(north_row, gc)) {
+                        pairs.push((a, b));
+                    }
+                }
+                add_cross(pairs, &mut adj);
+            }
+        }
+
+        let mut topo = Topology {
+            spec,
+            grid_rows,
+            grid_cols,
+            grid,
+            coords,
+            chiplet_of,
+            adj,
+            dist: Vec::new(),
+            num_cross_links,
+        };
+        topo.dist = topo.compute_all_pairs();
+        topo
+    }
+
+    fn compute_all_pairs(&self) -> Vec<u16> {
+        let n = self.num_qubits() as usize;
+        let mut dist = vec![u16::MAX; n * n];
+        let mut queue = VecDeque::new();
+        for src in 0..n {
+            let row = &mut dist[src * n..(src + 1) * n];
+            row[src] = 0;
+            queue.clear();
+            queue.push_back(PhysQubit(src as u32));
+            while let Some(q) = queue.pop_front() {
+                let dq = row[q.index()];
+                for link in &self.adj[q.index()] {
+                    if row[link.to.index()] == u16::MAX {
+                        row[link.to.index()] = dq + 1;
+                        queue.push_back(link.to);
+                    }
+                }
+            }
+        }
+        dist
+    }
+
+    /// The spec this topology was built from.
+    pub fn spec(&self) -> &ChipletSpec {
+        &self.spec
+    }
+
+    /// Total number of physical qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.coords.len() as u32
+    }
+
+    /// Number of chiplets in the array.
+    pub fn num_chiplets(&self) -> u32 {
+        self.spec.num_chiplets()
+    }
+
+    /// Number of (undirected) cross-chip links.
+    pub fn num_cross_links(&self) -> usize {
+        self.num_cross_links
+    }
+
+    /// Global grid dimensions `(rows, cols)`.
+    pub fn grid_dims(&self) -> (u32, u32) {
+        (self.grid_rows, self.grid_cols)
+    }
+
+    /// The links out of `q`.
+    pub fn neighbors(&self, q: PhysQubit) -> &[Link] {
+        &self.adj[q.index()]
+    }
+
+    /// The link kind between `a` and `b`, or `None` if they are not coupled.
+    pub fn coupling(&self, a: PhysQubit, b: PhysQubit) -> Option<LinkKind> {
+        self.adj[a.index()]
+            .iter()
+            .find(|l| l.to == b)
+            .map(|l| l.kind)
+    }
+
+    /// `true` if `a` and `b` share a coupler.
+    pub fn are_coupled(&self, a: PhysQubit, b: PhysQubit) -> bool {
+        self.coupling(a, b).is_some()
+    }
+
+    /// The chiplet owning `q`.
+    pub fn chiplet(&self, q: PhysQubit) -> ChipletId {
+        self.chiplet_of[q.index()]
+    }
+
+    /// Global grid coordinate of `q`.
+    pub fn coord(&self, q: PhysQubit) -> (u32, u32) {
+        self.coords[q.index()]
+    }
+
+    /// The qubit at global grid cell `(gr, gc)`, if occupied.
+    pub fn qubit_at(&self, gr: u32, gc: u32) -> Option<PhysQubit> {
+        if gr < self.grid_rows && gc < self.grid_cols {
+            self.grid[(gr * self.grid_cols + gc) as usize]
+        } else {
+            None
+        }
+    }
+
+    /// Hop distance between two qubits on the coupling graph.
+    pub fn distance(&self, a: PhysQubit, b: PhysQubit) -> u32 {
+        let n = self.num_qubits() as usize;
+        u32::from(self.dist[a.index() * n + b.index()])
+    }
+
+    /// Iterates over all qubits.
+    pub fn qubits(&self) -> impl Iterator<Item = PhysQubit> {
+        (0..self.num_qubits()).map(PhysQubit)
+    }
+
+    /// The grid-position `(row, col)` of a chiplet within the array.
+    pub fn chiplet_pos(&self, chip: ChipletId) -> (u32, u32) {
+        (
+            chip.0 / self.spec.array_cols(),
+            chip.0 % self.spec.array_cols(),
+        )
+    }
+
+    /// Total number of undirected links, `(on_chip, cross_chip)`.
+    pub fn link_counts(&self) -> (usize, usize) {
+        let mut on = 0;
+        for links in &self.adj {
+            on += links
+                .iter()
+                .filter(|l| l.kind == LinkKind::OnChip)
+                .count();
+        }
+        (on / 2, self.num_cross_links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CouplingStructure;
+
+    #[test]
+    fn square_array_counts() {
+        let t = ChipletSpec::square(5, 2, 3).build();
+        assert_eq!(t.num_qubits(), 6 * 25);
+        assert_eq!(t.num_chiplets(), 6);
+        let (on, cross) = t.link_counts();
+        // Each 5x5 chiplet: 2*5*4 = 40 on-chip links.
+        assert_eq!(on, 6 * 40);
+        // Boundaries: vertical 2 rows * 2 = 4, horizontal 1 * 3 = 3; each
+        // with 5 links.
+        assert_eq!(cross, 7 * 5);
+    }
+
+    #[test]
+    fn sparsity_reduces_cross_links() {
+        let dense = ChipletSpec::square(7, 3, 3).build();
+        let sparse = ChipletSpec::square(7, 3, 3)
+            .with_cross_links_per_edge(1)
+            .build();
+        assert_eq!(dense.num_cross_links(), 12 * 7);
+        assert_eq!(sparse.num_cross_links(), 12);
+    }
+
+    #[test]
+    fn sparse_middle_link_survives() {
+        let t = ChipletSpec::square(7, 1, 2)
+            .with_cross_links_per_edge(1)
+            .build();
+        // The single kept link should be at the middle row (3).
+        let a = t.qubit_at(3, 6).unwrap();
+        let b = t.qubit_at(3, 7).unwrap();
+        assert_eq!(t.coupling(a, b), Some(LinkKind::CrossChip));
+    }
+
+    #[test]
+    fn cross_links_connect_adjacent_chiplets_only() {
+        let t = ChipletSpec::square(4, 2, 2).build();
+        for q in t.qubits() {
+            for l in t.neighbors(q) {
+                let (ca, cb) = (t.chiplet(q), t.chiplet(l.to));
+                match l.kind {
+                    LinkKind::OnChip => assert_eq!(ca, cb),
+                    LinkKind::CrossChip => {
+                        assert_ne!(ca, cb);
+                        let (ra, cla) = t.chiplet_pos(ca);
+                        let (rb, clb) = t.chiplet_pos(cb);
+                        assert_eq!(ra.abs_diff(rb) + cla.abs_diff(clb), 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_metric_on_samples() {
+        let t = ChipletSpec::square(4, 2, 2).build();
+        let qs = [PhysQubit(0), PhysQubit(7), PhysQubit(20), PhysQubit(63)];
+        for &a in &qs {
+            assert_eq!(t.distance(a, a), 0);
+            for &b in &qs {
+                assert_eq!(t.distance(a, b), t.distance(b, a));
+                for &c in &qs {
+                    assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_structure_is_connected() {
+        for s in CouplingStructure::ALL {
+            let t = ChipletSpec::new(s, 8, 2, 2).build();
+            let far = PhysQubit(t.num_qubits() - 1);
+            assert!(
+                t.distance(PhysQubit(0), far) < u32::from(u16::MAX),
+                "{s} disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_square_has_no_odd_odd_qubits() {
+        let t = ChipletSpec::new(CouplingStructure::HeavySquare, 6, 1, 1).build();
+        for q in t.qubits() {
+            let (r, c) = t.coord(q);
+            assert!(!(r % 2 == 1 && c % 2 == 1));
+        }
+    }
+
+    #[test]
+    fn hexagon_degree_at_most_three_inside_chiplet() {
+        let t = ChipletSpec::new(CouplingStructure::Hexagon, 8, 1, 1).build();
+        for q in t.qubits() {
+            assert!(t.neighbors(q).len() <= 3, "degree too high at {q}");
+        }
+    }
+
+    #[test]
+    fn coupling_is_mutual() {
+        let t = ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 2, 2).build();
+        for q in t.qubits() {
+            for l in t.neighbors(q) {
+                assert_eq!(t.coupling(l.to, q), Some(l.kind));
+            }
+        }
+    }
+
+    #[test]
+    fn qubit_at_round_trips_coords() {
+        let t = ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 1, 2).build();
+        for q in t.qubits() {
+            let (gr, gc) = t.coord(q);
+            assert_eq!(t.qubit_at(gr, gc), Some(q));
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Aggregation of commutable controlled gates into multi-target gates.
+//!
+//! The MECH protocol (paper Fig. 3) executes many controlled gates sharing a
+//! *control* qubit in a single round over a GHZ state. This module groups
+//! ready gates around *hub* qubits:
+//!
+//! * a CNOT joins a **plain** group at its control, or — conjugated by a
+//!   Hadamard on the hub (`CNOT(x, h) = H_h · CZ(x, h) · H_h`) — a
+//!   **conjugated** group at its target (this is how shared-target programs
+//!   like Bernstein–Vazirani ride the highway);
+//! * diagonal gates (CZ, CPhase, RZZ) are symmetric and join a plain group
+//!   at either operand.
+//!
+//! Groups are formed greedily, largest first, mirroring the paper's ranking
+//! of aggregated gates by component count.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::dag::GateId;
+use crate::gate::{Gate, TwoQubitKind};
+use crate::qubit::Qubit;
+
+/// One 2-qubit component of a [`MultiTargetGate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetComponent {
+    /// The original gate in the logical circuit.
+    pub gate: GateId,
+    /// The non-hub operand — the qubit that receives the controlled
+    /// operation from the highway.
+    pub other: Qubit,
+}
+
+/// How the hub couples to the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    /// The hub is the control of every component as written.
+    Plain,
+    /// Components are CNOTs *targeting* the hub; a Hadamard on the hub
+    /// before and after the group turns each into a CZ controlled by the
+    /// hub.
+    Conjugated,
+}
+
+/// A set of controlled gates sharing a hub qubit, executable concurrently
+/// over one GHZ state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiTargetGate {
+    /// The shared control qubit.
+    pub hub: Qubit,
+    /// Whether the hub needs Hadamard conjugation.
+    pub kind: GroupKind,
+    /// The components, each touching a distinct non-hub qubit.
+    pub components: Vec<TargetComponent>,
+}
+
+impl MultiTargetGate {
+    /// Number of 2-qubit components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// `true` if the group has no components (never produced by
+    /// [`aggregate_controlled`]).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Tuning knobs for [`aggregate_controlled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateOptions {
+    /// Minimum number of components for a group to be worth a highway
+    /// shuttle; smaller clusters execute as regular routed gates.
+    ///
+    /// The protocol costs one GHZ preparation plus measurements per shuttle,
+    /// so tiny groups don't pay for themselves. Default: 3.
+    pub min_components: usize,
+}
+
+impl Default for AggregateOptions {
+    fn default() -> Self {
+        AggregateOptions { min_components: 3 }
+    }
+}
+
+/// Groups the `ready` gates of `circuit` into multi-target gates.
+///
+/// Returns the groups (largest first) and the leftover gates that should be
+/// executed as regular 2-qubit gates. One-qubit gates and measurements in
+/// `ready` are always returned in the leftovers.
+///
+/// # Example
+///
+/// ```
+/// use mech_circuit::{aggregate_controlled, AggregateOptions, Circuit, GateId, Qubit};
+/// # fn main() -> Result<(), mech_circuit::CircuitError> {
+/// let mut c = Circuit::new(4);
+/// for t in 1..4 {
+///     c.cnot(Qubit(0), Qubit(t))?;
+/// }
+/// let ready: Vec<GateId> = (0..3).map(GateId).collect();
+/// let (groups, rest) = aggregate_controlled(&c, &ready, AggregateOptions::default());
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].hub, Qubit(0));
+/// assert_eq!(groups[0].len(), 3);
+/// assert!(rest.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn aggregate_controlled(
+    circuit: &Circuit,
+    ready: &[GateId],
+    options: AggregateOptions,
+) -> (Vec<MultiTargetGate>, Vec<GateId>) {
+    let min = options.min_components.max(2);
+
+    // Candidate hub memberships for every aggregable ready gate.
+    let mut buckets: HashMap<(Qubit, GroupKind), Vec<GateId>> = HashMap::new();
+    let mut leftovers = Vec::new();
+    let mut aggregable: Vec<GateId> = Vec::new();
+
+    for &id in ready {
+        match circuit.gates()[id.index()] {
+            Gate::Two { kind, a, b, .. } if kind.is_controlled() => {
+                aggregable.push(id);
+                match kind {
+                    TwoQubitKind::Cnot => {
+                        buckets.entry((a, GroupKind::Plain)).or_default().push(id);
+                        buckets
+                            .entry((b, GroupKind::Conjugated))
+                            .or_default()
+                            .push(id);
+                    }
+                    TwoQubitKind::Cz | TwoQubitKind::Cphase | TwoQubitKind::Rzz => {
+                        buckets.entry((a, GroupKind::Plain)).or_default().push(id);
+                        buckets.entry((b, GroupKind::Plain)).or_default().push(id);
+                    }
+                    TwoQubitKind::Swap => unreachable!("swap is not controlled"),
+                }
+            }
+            _ => leftovers.push(id),
+        }
+    }
+
+    let mut assigned: HashMap<GateId, ()> = HashMap::new();
+    let mut groups = Vec::new();
+
+    // Greedy by initial bucket size: visit hubs from the most to the least
+    // populous and carve each one's group from the still-unassigned gates.
+    // (A single pass — re-counting after every pick would be quadratic on
+    // the all-commuting fronts of QAOA-size programs.)
+    let mut order: Vec<(Qubit, GroupKind)> = buckets.keys().copied().collect();
+    order.sort_by_key(|key| {
+        let len = buckets[key].len();
+        (std::cmp::Reverse(len), key.0, matches!(key.1, GroupKind::Conjugated))
+    });
+
+    for key in order {
+        let ids = &buckets[&key];
+        let (hub, kind) = key;
+        let mut comps: Vec<TargetComponent> = Vec::new();
+        let mut seen_others: HashMap<Qubit, ()> = HashMap::new();
+        for &id in ids {
+            if assigned.contains_key(&id) {
+                continue;
+            }
+            let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
+                continue;
+            };
+            let other = if a == hub { b } else { a };
+            if seen_others.insert(other, ()).is_none() {
+                comps.push(TargetComponent { gate: id, other });
+            }
+        }
+        if comps.len() >= min {
+            for c in &comps {
+                assigned.insert(c.gate, ());
+            }
+            groups.push(MultiTargetGate {
+                hub,
+                kind,
+                components: comps,
+            });
+        }
+    }
+
+    groups.sort_by(|a, b| b.len().cmp(&a.len()).then(a.hub.cmp(&b.hub)));
+
+    for id in aggregable {
+        if !assigned.contains_key(&id) {
+            leftovers.push(id);
+        }
+    }
+    leftovers.sort();
+
+    (groups, leftovers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(min: usize) -> AggregateOptions {
+        AggregateOptions {
+            min_components: min,
+        }
+    }
+
+    #[test]
+    fn shared_control_cnots_form_one_plain_group() {
+        let mut c = Circuit::new(5);
+        for t in 1..5 {
+            c.cnot(Qubit(0), Qubit(t)).unwrap();
+        }
+        let ready: Vec<GateId> = (0..4).map(GateId).collect();
+        let (groups, rest) = aggregate_controlled(&c, &ready, opts(2));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].hub, Qubit(0));
+        assert_eq!(groups[0].kind, GroupKind::Plain);
+        assert_eq!(groups[0].len(), 4);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn shared_target_cnots_form_one_conjugated_group() {
+        let mut c = Circuit::new(5);
+        for s in 1..5 {
+            c.cnot(Qubit(s), Qubit(0)).unwrap();
+        }
+        let ready: Vec<GateId> = (0..4).map(GateId).collect();
+        let (groups, rest) = aggregate_controlled(&c, &ready, opts(2));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].hub, Qubit(0));
+        assert_eq!(groups[0].kind, GroupKind::Conjugated);
+        assert_eq!(groups[0].len(), 4);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn below_threshold_gates_stay_regular() {
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1)).unwrap();
+        c.cnot(Qubit(2), Qubit(3)).unwrap();
+        let ready = vec![GateId(0), GateId(1)];
+        let (groups, rest) = aggregate_controlled(&c, &ready, opts(3));
+        assert!(groups.is_empty());
+        assert_eq!(rest, vec![GateId(0), GateId(1)]);
+    }
+
+    #[test]
+    fn each_gate_joins_at_most_one_group() {
+        // cx(0,1) could join hub 0 (plain) or hub 1 (conjugated); with more
+        // gates at hub 0 it must land there and only there.
+        let mut c = Circuit::new(5);
+        c.cnot(Qubit(0), Qubit(1)).unwrap();
+        c.cnot(Qubit(0), Qubit(2)).unwrap();
+        c.cnot(Qubit(0), Qubit(3)).unwrap();
+        c.cnot(Qubit(4), Qubit(1)).unwrap();
+        let ready: Vec<GateId> = (0..4).map(GateId).collect();
+        let (groups, rest) = aggregate_controlled(&c, &ready, opts(2));
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total + rest.len(), 4);
+        assert_eq!(groups[0].hub, Qubit(0));
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn duplicate_other_qubits_are_not_grouped_twice() {
+        // Two CP gates on the same pair: only one may join per group.
+        let mut c = Circuit::new(3);
+        c.cp(Qubit(0), Qubit(1), 0.1).unwrap();
+        c.cp(Qubit(0), Qubit(1), 0.2).unwrap();
+        c.cp(Qubit(0), Qubit(2), 0.3).unwrap();
+        let ready: Vec<GateId> = (0..3).map(GateId).collect();
+        let (groups, rest) = aggregate_controlled(&c, &ready, opts(2));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn diagonal_gates_group_on_either_operand() {
+        // rzz(1,0), rzz(0,2): hub 0 works even though operand order differs.
+        let mut c = Circuit::new(3);
+        c.rzz(Qubit(1), Qubit(0), 0.1).unwrap();
+        c.rzz(Qubit(0), Qubit(2), 0.1).unwrap();
+        let ready = vec![GateId(0), GateId(1)];
+        let (groups, _) = aggregate_controlled(&c, &ready, opts(2));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].hub, Qubit(0));
+        let others: Vec<Qubit> = groups[0].components.iter().map(|c| c.other).collect();
+        assert!(others.contains(&Qubit(1)) && others.contains(&Qubit(2)));
+    }
+
+    #[test]
+    fn one_qubit_gates_pass_through_as_leftovers() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).unwrap();
+        c.cnot(Qubit(0), Qubit(1)).unwrap();
+        let ready = vec![GateId(0)];
+        let (groups, rest) = aggregate_controlled(&c, &ready, opts(2));
+        assert!(groups.is_empty());
+        assert_eq!(rest, vec![GateId(0)]);
+    }
+
+    #[test]
+    fn groups_are_sorted_largest_first() {
+        let mut c = Circuit::new(8);
+        // hub 0: 3 components; hub 4: 2 components.
+        c.cnot(Qubit(0), Qubit(1)).unwrap();
+        c.cnot(Qubit(0), Qubit(2)).unwrap();
+        c.cnot(Qubit(0), Qubit(3)).unwrap();
+        c.cnot(Qubit(4), Qubit(5)).unwrap();
+        c.cnot(Qubit(4), Qubit(6)).unwrap();
+        let ready: Vec<GateId> = (0..5).map(GateId).collect();
+        let (groups, _) = aggregate_controlled(&c, &ready, opts(2));
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].len() >= groups[1].len());
+    }
+}

@@ -1,0 +1,113 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::circuit::Circuit;
+use crate::qubit::Qubit;
+
+/// Builds a Bernstein–Vazirani circuit on `n` qubits (`n-1` data qubits and
+/// one ancilla, qubit `n-1`) for an explicit `secret` bit string of length
+/// `n-1`.
+///
+/// The oracle is the standard phase-kickback construction: the ancilla is
+/// prepared in `|−⟩`, and each secret bit `s_i = 1` contributes a
+/// `CNOT(data_i, ancilla)`. All oracle CNOTs share the ancilla as target, so
+/// MECH executes them as a single conjugated multi-target gate.
+///
+/// # Panics
+///
+/// Panics if `secret.len() != n as usize - 1` or `n < 2`.
+pub fn bv_with_secret(n: u32, secret: &[bool]) -> Circuit {
+    assert!(n >= 2, "BV needs at least one data qubit plus the ancilla");
+    assert_eq!(
+        secret.len(),
+        n as usize - 1,
+        "secret length must be n - 1"
+    );
+    let anc = Qubit(n - 1);
+    let mut c = Circuit::new(n);
+    for q in 0..n - 1 {
+        c.h(Qubit(q)).expect("in range");
+    }
+    c.x(anc).expect("in range");
+    c.h(anc).expect("in range");
+    for (i, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cnot(Qubit(i as u32), anc).expect("in range");
+        }
+    }
+    for q in 0..n - 1 {
+        c.h(Qubit(q)).expect("in range");
+        c.measure(Qubit(q)).expect("in range");
+    }
+    c
+}
+
+/// Builds a Bernstein–Vazirani circuit with a random secret in which
+/// approximately half the bits are 1 (exactly `⌊(n-1)/2⌋`), as in the
+/// paper's setup.
+///
+/// # Example
+///
+/// ```
+/// let c = mech_circuit::benchmarks::bernstein_vazirani(9, 3);
+/// assert_eq!(c.two_qubit_count(), 4); // half of 8 data bits are ones
+/// ```
+pub fn bernstein_vazirani(n: u32, seed: u64) -> Circuit {
+    let data = n as usize - 1;
+    let ones = data / 2;
+    let mut secret = vec![false; data];
+    let mut idx: Vec<usize> = (0..data).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    for &i in idx.iter().take(ones) {
+        secret[i] = true;
+    }
+    bv_with_secret(n, &secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, TwoQubitKind};
+
+    #[test]
+    fn oracle_size_matches_secret_weight() {
+        let c = bv_with_secret(5, &[true, false, true, true]);
+        assert_eq!(c.two_qubit_count(), 3);
+    }
+
+    #[test]
+    fn random_secret_has_half_ones() {
+        let c = bernstein_vazirani(11, 1);
+        assert_eq!(c.two_qubit_count(), 5);
+    }
+
+    #[test]
+    fn all_oracle_cnots_target_the_ancilla() {
+        let c = bernstein_vazirani(9, 2);
+        for g in c.gates() {
+            if let Gate::Two { kind, b, .. } = g {
+                assert_eq!(*kind, TwoQubitKind::Cnot);
+                assert_eq!(*b, Qubit(8));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        assert_eq!(bernstein_vazirani(9, 4), bernstein_vazirani(9, 4));
+    }
+
+    #[test]
+    fn measures_only_data_qubits() {
+        let c = bernstein_vazirani(6, 0);
+        assert_eq!(c.stats().measurements, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "secret length")]
+    fn wrong_secret_length_panics() {
+        bv_with_secret(4, &[true]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Generators for the benchmark programs evaluated in the MECH paper:
+//! QFT, QAOA max-cut on random graphs, VQE with a full-entanglement ansatz,
+//! and Bernstein–Vazirani, plus a random-circuit generator used by property
+//! tests.
+//!
+//! All randomized generators take an explicit seed so experiments are
+//! reproducible bit-for-bit.
+
+mod bv;
+mod qaoa;
+mod qft;
+mod random;
+mod vqe;
+
+pub use bv::{bernstein_vazirani, bv_with_secret};
+pub use qaoa::{qaoa_maxcut, random_maxcut_graph};
+pub use qft::qft;
+pub use random::random_circuit;
+pub use vqe::vqe_full_entanglement;
+
+use crate::circuit::Circuit;
+
+/// The four paper benchmark families, convenient for sweep harnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Quantum Fourier transform.
+    Qft,
+    /// QAOA max-cut, one layer, random graph with half of all edges.
+    Qaoa,
+    /// VQE full-entanglement ansatz, one repetition.
+    Vqe,
+    /// Bernstein–Vazirani with a random half-ones secret.
+    Bv,
+}
+
+impl Benchmark {
+    /// All four benchmarks in the paper's table order.
+    pub const ALL: [Benchmark; 4] = [
+        Benchmark::Qft,
+        Benchmark::Qaoa,
+        Benchmark::Vqe,
+        Benchmark::Bv,
+    ];
+
+    /// Short display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Qft => "QFT",
+            Benchmark::Qaoa => "QAOA",
+            Benchmark::Vqe => "VQE",
+            Benchmark::Bv => "BV",
+        }
+    }
+
+    /// Generates the benchmark circuit on `n` data qubits with `seed`.
+    pub fn generate(self, n: u32, seed: u64) -> Circuit {
+        match self {
+            Benchmark::Qft => qft(n),
+            Benchmark::Qaoa => qaoa_maxcut(n, 1, seed),
+            Benchmark::Vqe => vqe_full_entanglement(n, 1),
+            Benchmark::Bv => bernstein_vazirani(n, seed),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate_nonempty_circuits() {
+        for b in Benchmark::ALL {
+            let c = b.generate(8, 7);
+            assert!(!c.is_empty(), "{b} empty");
+            assert_eq!(c.num_qubits(), 8);
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Benchmark::Qft.to_string(), "QFT");
+        assert_eq!(Benchmark::Bv.name(), "BV");
+    }
+}

@@ -1,0 +1,112 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::circuit::Circuit;
+use crate::qubit::Qubit;
+
+/// Samples the paper's random max-cut instance: a graph on `n` vertices
+/// containing exactly half of all `n(n-1)/2` possible edges, chosen
+/// uniformly with `seed`.
+///
+/// # Example
+///
+/// ```
+/// let edges = mech_circuit::benchmarks::random_maxcut_graph(8, 42);
+/// assert_eq!(edges.len(), 8 * 7 / 2 / 2);
+/// ```
+pub fn random_maxcut_graph(n: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut all: Vec<(u32, u32)> = Vec::with_capacity((n * (n - 1) / 2) as usize);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            all.push((u, v));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(all.len() / 2);
+    all.sort_unstable();
+    all
+}
+
+/// Builds a `layers`-layer QAOA max-cut circuit on the random graph from
+/// [`random_maxcut_graph`].
+///
+/// Each layer applies an `RZZ(γ)` interaction per graph edge (the cost
+/// Hamiltonian; all RZZ terms commute, which MECH exploits) followed by an
+/// `Rx(β)` mixer on every qubit. The circuit starts from `H^{⊗n}` and ends
+/// with measurements.
+///
+/// # Example
+///
+/// ```
+/// let c = mech_circuit::benchmarks::qaoa_maxcut(6, 1, 1);
+/// assert_eq!(c.two_qubit_count(), 6 * 5 / 2 / 2);
+/// ```
+pub fn qaoa_maxcut(n: u32, layers: u32, seed: u64) -> Circuit {
+    let edges = random_maxcut_graph(n, seed);
+    let mut c = Circuit::with_capacity(
+        n,
+        n as usize * (layers as usize + 2) + edges.len() * layers as usize,
+    );
+    for q in 0..n {
+        c.h(Qubit(q)).expect("in range");
+    }
+    // Fixed representative angles; the cost model ignores them.
+    let gamma = 0.7;
+    let beta = 0.3;
+    for _ in 0..layers {
+        for &(u, v) in &edges {
+            c.rzz(Qubit(u), Qubit(v), gamma).expect("in range");
+        }
+        for q in 0..n {
+            c.one(crate::gate::OneQubitGate::Rx(beta), Qubit(q))
+                .expect("in range");
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_has_exactly_half_the_edges() {
+        for n in [4u32, 9, 16] {
+            let e = random_maxcut_graph(n, 3);
+            assert_eq!(e.len() as u32, n * (n - 1) / 2 / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn graph_is_seed_deterministic() {
+        assert_eq!(random_maxcut_graph(10, 5), random_maxcut_graph(10, 5));
+        assert_ne!(random_maxcut_graph(10, 5), random_maxcut_graph(10, 6));
+    }
+
+    #[test]
+    fn edges_are_canonical_and_unique() {
+        let e = random_maxcut_graph(12, 9);
+        for &(u, v) in &e {
+            assert!(u < v);
+        }
+        let mut d = e.clone();
+        d.dedup();
+        assert_eq!(d.len(), e.len());
+    }
+
+    #[test]
+    fn layer_count_scales_two_qubit_gates() {
+        let one = qaoa_maxcut(8, 1, 2).two_qubit_count();
+        let two = qaoa_maxcut(8, 2, 2).two_qubit_count();
+        assert_eq!(two, 2 * one);
+    }
+
+    #[test]
+    fn circuit_measures_every_qubit() {
+        let c = qaoa_maxcut(7, 1, 0);
+        assert_eq!(c.stats().measurements, 7);
+    }
+}

@@ -1,0 +1,87 @@
+use std::f64::consts::PI;
+
+use crate::circuit::Circuit;
+use crate::qubit::Qubit;
+
+/// Builds an `n`-qubit quantum Fourier transform.
+///
+/// Uses the textbook decomposition: for each qubit `i`, a Hadamard followed
+/// by controlled-phase gates `CP(j, i, π/2^(j-i))` from every later qubit
+/// `j`. The final qubit-reversal SWAPs are omitted, as is conventional for
+/// compilation studies (they can be absorbed into qubit relabeling).
+///
+/// The circuit has `n` Hadamards and `n(n-1)/2` controlled-phase gates; all
+/// CP gates touching a qubit are mutually diagonal, giving the MECH
+/// aggregator large shared-control groups.
+///
+/// # Example
+///
+/// ```
+/// let c = mech_circuit::benchmarks::qft(5);
+/// assert_eq!(c.two_qubit_count(), 10);
+/// ```
+pub fn qft(n: u32) -> Circuit {
+    let mut c = Circuit::with_capacity(n, (n * (n + 1) / 2) as usize + n as usize);
+    for i in 0..n {
+        c.h(Qubit(i)).expect("qubit in range");
+        for j in (i + 1)..n {
+            let angle = PI / f64::from(1u32 << ((j - i).min(30)));
+            c.cp(Qubit(j), Qubit(i), angle).expect("qubits in range");
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn gate_counts_are_triangular() {
+        for n in [1u32, 2, 5, 10] {
+            let c = qft(n);
+            assert_eq!(c.two_qubit_count() as u32, n * (n - 1) / 2, "n={n}");
+            assert_eq!(c.stats().one_qubit as u32, n);
+            assert_eq!(c.stats().measurements as u32, n);
+        }
+    }
+
+    #[test]
+    fn first_gate_is_hadamard_on_q0() {
+        let c = qft(3);
+        assert!(matches!(
+            c.gates()[0],
+            Gate::One {
+                gate: crate::gate::OneQubitGate::H,
+                q: Qubit(0)
+            }
+        ));
+    }
+
+    #[test]
+    fn cp_controls_are_later_qubits() {
+        let c = qft(4);
+        for g in c.gates() {
+            if let Gate::Two { a, b, .. } = g {
+                assert!(a.0 > b.0, "control {a} must be a later qubit than {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn angles_shrink_geometrically() {
+        let c = qft(3);
+        let angles: Vec<f64> = c
+            .gates()
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Two { angle, .. } => Some(*angle),
+                _ => None,
+            })
+            .collect();
+        assert!((angles[0] - PI / 2.0).abs() < 1e-12);
+        assert!((angles[1] - PI / 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::circuit::Circuit;
+use crate::gate::OneQubitGate;
+use crate::qubit::Qubit;
+
+/// Generates a random circuit for fuzz/property testing.
+///
+/// Gates are drawn uniformly from {H, Rz, X, CNOT, CZ, CP, RZZ}; two-qubit
+/// gates pick distinct random operands. Measurements are appended at the
+/// end on every qubit.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (two-qubit gates need two distinct qubits).
+pub fn random_circuit(n: u32, num_gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuits need at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_capacity(n, num_gates + n as usize);
+    for _ in 0..num_gates {
+        let (a, b) = loop {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                break (a, b);
+            }
+        };
+        match rng.gen_range(0..7u32) {
+            0 => c.h(Qubit(a)).expect("in range"),
+            1 => c.rz(Qubit(a), rng.gen_range(0.0..1.0)).expect("in range"),
+            2 => c.one(OneQubitGate::X, Qubit(a)).expect("in range"),
+            3 => c.cnot(Qubit(a), Qubit(b)).expect("in range"),
+            4 => c.cz(Qubit(a), Qubit(b)).expect("in range"),
+            5 => c
+                .cp(Qubit(a), Qubit(b), rng.gen_range(0.0..1.0))
+                .expect("in range"),
+            _ => c
+                .rzz(Qubit(a), Qubit(b), rng.gen_range(0.0..1.0))
+                .expect("in range"),
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_gate_count_plus_measurements() {
+        let c = random_circuit(5, 40, 1);
+        assert_eq!(c.len(), 45);
+    }
+
+    #[test]
+    fn is_seed_deterministic() {
+        assert_eq!(random_circuit(6, 30, 9), random_circuit(6, 30, 9));
+    }
+
+    #[test]
+    fn differs_across_seeds() {
+        assert_ne!(random_circuit(6, 30, 9), random_circuit(6, 30, 10));
+    }
+}

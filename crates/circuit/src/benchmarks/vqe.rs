@@ -1,0 +1,76 @@
+use crate::circuit::Circuit;
+use crate::gate::OneQubitGate;
+use crate::qubit::Qubit;
+
+/// Builds a VQE ansatz with *full entanglement*, the expressive ansatz used
+/// by the paper (one `CNOT(i, j)` for every ordered pair `i < j` per
+/// repetition, as in Qiskit's `TwoLocal(..., entanglement="full")`).
+///
+/// Each repetition is: an `Ry` rotation layer on every qubit, then the full
+/// CNOT entangler. A final rotation layer and measurements close the
+/// circuit. Angles are deterministic placeholders (`0.1·(q+1)`·rep); the
+/// compiler's cost model never reads them.
+///
+/// # Example
+///
+/// ```
+/// let c = mech_circuit::benchmarks::vqe_full_entanglement(5, 1);
+/// assert_eq!(c.two_qubit_count(), 10);
+/// ```
+pub fn vqe_full_entanglement(n: u32, reps: u32) -> Circuit {
+    let pairs = (n * n.saturating_sub(1) / 2) as usize;
+    let mut c = Circuit::with_capacity(n, (reps as usize + 1) * n as usize + reps as usize * pairs);
+    for rep in 0..reps {
+        for q in 0..n {
+            let angle = 0.1 * f64::from(q + 1) * f64::from(rep + 1);
+            c.ry(Qubit(q), angle).expect("in range");
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                c.cnot(Qubit(i), Qubit(j)).expect("in range");
+            }
+        }
+    }
+    for q in 0..n {
+        c.one(OneQubitGate::Ry(0.05), Qubit(q)).expect("in range");
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn entangler_is_all_pairs() {
+        let c = vqe_full_entanglement(6, 1);
+        assert_eq!(c.two_qubit_count(), 15);
+    }
+
+    #[test]
+    fn reps_scale_entanglers_and_rotations() {
+        let c1 = vqe_full_entanglement(5, 1);
+        let c2 = vqe_full_entanglement(5, 2);
+        assert_eq!(c2.two_qubit_count(), 2 * c1.two_qubit_count());
+        assert_eq!(c2.stats().one_qubit, c1.stats().one_qubit + 5);
+    }
+
+    #[test]
+    fn controls_are_lower_indices() {
+        let c = vqe_full_entanglement(4, 1);
+        for g in c.gates() {
+            if let Gate::Two { a, b, .. } = g {
+                assert!(a.0 < b.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_ansatz_has_no_entanglers() {
+        let c = vqe_full_entanglement(1, 1);
+        assert_eq!(c.two_qubit_count(), 0);
+        assert_eq!(c.stats().measurements, 1);
+    }
+}

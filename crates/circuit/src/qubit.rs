@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// A logical qubit index within a [`Circuit`](crate::Circuit).
+///
+/// Logical qubits are dense indices `0..n`. They are distinct from the
+/// physical qubits of a chiplet topology (see `mech-chiplet`), and the two
+/// are related only through a mapping maintained by the router.
+///
+/// # Example
+///
+/// ```
+/// use mech_circuit::Qubit;
+/// let q = Qubit(3);
+/// assert_eq!(q.index(), 3);
+/// assert_eq!(q.to_string(), "q3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Qubit(pub u32);
+
+impl Qubit {
+    /// Returns the raw index as a `usize`, convenient for slice indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Qubit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Qubit {
+    fn from(v: u32) -> Self {
+        Qubit(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(Qubit(7).index(), 7);
+        assert_eq!(Qubit::from(9u32), Qubit(9));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Qubit(0).to_string(), "q0");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(Qubit(1) < Qubit(2));
+        assert_eq!(Qubit::default(), Qubit(0));
+    }
+}

@@ -1,0 +1,628 @@
+//! The MECH compilation pipeline.
+//!
+//! The compiler walks the program's commutation DAG front-to-back. Each
+//! *round* it:
+//!
+//! 1. executes all ready one-qubit gates and measurements (free/cheap);
+//! 2. aggregates ready controlled gates into multi-target gates
+//!    ([`aggregate_controlled`]) and executes the large ones over the
+//!    highway: entrance selection by earliest execution time, highway path
+//!    claiming with reuse, constant-depth GHZ preparation, hub attachment
+//!    and streamed components (temporal + spatial sharing, paper §6);
+//! 3. executes the remaining ("regular") two-qubit gates with SWAP routing
+//!    through the data region.
+//!
+//! When a round makes no further progress the open shuttle closes: the
+//! highway is measured out, corrections feed forward to the hubs, and the
+//! components executed during the shuttle retire in the DAG (their
+//! logical effect is final only after the closing corrections).
+
+use std::collections::HashSet;
+
+use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, Topology};
+use mech_circuit::{
+    aggregate_controlled, AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId,
+    GroupKind, MultiTargetGate,
+};
+use mech_highway::{
+    entrance_candidates, prepare_ghz, prepare_ghz_chain, ActiveGroup, ShuttleState, ShuttleStats,
+};
+use mech_router::{LocalRouter, Mapping};
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::metrics::Metrics;
+
+/// The result of a MECH compilation.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The scheduled physical circuit.
+    pub circuit: PhysCircuit,
+    /// Shuttle counters (GHZ rounds, highway gates, components).
+    pub shuttle_stats: ShuttleStats,
+    /// Per-shuttle timeline (close times, sharing degree, claimed qubits).
+    pub shuttle_trace: Vec<mech_highway::ShuttleRecord>,
+    /// Two-qubit gates executed off-highway.
+    pub regular_gates: u64,
+    /// Fraction of physical qubits used as highway ancillas.
+    pub highway_percentage: f64,
+}
+
+impl CompileResult {
+    /// The evaluation metrics of the compiled circuit.
+    pub fn metrics(&self) -> Metrics {
+        Metrics::from_circuit(&self.circuit)
+    }
+}
+
+/// The MECH compiler: maps a logical circuit onto a chiplet array with a
+/// communication highway.
+///
+/// # Example
+///
+/// ```
+/// use mech::{CompilerConfig, MechCompiler};
+/// use mech_chiplet::{ChipletSpec, HighwayLayout};
+/// use mech_circuit::benchmarks::bernstein_vazirani;
+///
+/// # fn main() -> Result<(), mech::CompileError> {
+/// let topo = ChipletSpec::square(6, 2, 2).build();
+/// let layout = HighwayLayout::generate(&topo, 1);
+/// let compiler = MechCompiler::new(&topo, &layout, CompilerConfig::default());
+/// let program = bernstein_vazirani(layout.num_data_qubits().min(40), 7);
+/// let result = compiler.compile(&program)?;
+/// assert!(result.shuttle_stats.shuttles >= 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MechCompiler<'a> {
+    topo: &'a Topology,
+    layout: &'a HighwayLayout,
+    config: CompilerConfig,
+}
+
+/// Mutable compilation state threaded through the rounds.
+struct Session<'a> {
+    circuit: &'a Circuit,
+    pc: PhysCircuit,
+    mapping: Mapping,
+    sched: DagSchedule<'a>,
+    shuttle: ShuttleState,
+    router: LocalRouter<'a>,
+    /// Components executed in the open shuttle, retired at close.
+    pending_close: Vec<GateId>,
+    pending_set: HashSet<GateId>,
+    regular_gates: u64,
+    /// Entrance options per physical position (the data/highway geometry is
+    /// static, so these never change).
+    entrance_cache: Vec<Option<Vec<mech_highway::EntranceOption>>>,
+}
+
+impl Session<'_> {
+    /// Cached entrance candidates for the data qubit at `pos`.
+    fn entrances_at(
+        &mut self,
+        topo: &Topology,
+        layout: &HighwayLayout,
+        pos: PhysQubit,
+        limit: usize,
+    ) -> &[mech_highway::EntranceOption] {
+        let slot = &mut self.entrance_cache[pos.index()];
+        if slot.is_none() {
+            *slot = Some(entrance_candidates(topo, layout, pos, limit));
+        }
+        slot.as_deref().expect("just filled")
+    }
+}
+
+impl<'a> MechCompiler<'a> {
+    /// Creates a compiler over the given hardware and highway layout.
+    pub fn new(topo: &'a Topology, layout: &'a HighwayLayout, config: CompilerConfig) -> Self {
+        MechCompiler {
+            topo,
+            layout,
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Compiles `circuit`, returning the scheduled physical circuit and
+    /// highway statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::TooManyQubits`] if the program is wider than the
+    /// data region; [`CompileError::Routing`] if the data region is
+    /// disconnected (a layout bug).
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompileResult, CompileError> {
+        let data = self.layout.data_qubits();
+        if circuit.num_qubits() as usize > data.len() {
+            return Err(CompileError::TooManyQubits {
+                requested: circuit.num_qubits(),
+                available: data.len() as u32,
+            });
+        }
+
+        let dag = CommutationDag::new(circuit);
+        let mut s = Session {
+            circuit,
+            pc: PhysCircuit::new(self.topo.num_qubits(), self.config.cost),
+            mapping: Mapping::trivial(circuit.num_qubits(), &data),
+            sched: dag.schedule(),
+            shuttle: ShuttleState::new(self.topo),
+            router: LocalRouter::new(self.topo, self.layout),
+            pending_close: Vec::new(),
+            pending_set: HashSet::new(),
+            regular_gates: 0,
+            entrance_cache: vec![None; self.topo.num_qubits() as usize],
+        };
+
+        while !s.sched.is_finished() {
+            let progressed = self.round_pass(&mut s)?;
+            if progressed {
+                continue;
+            }
+            if s.shuttle.is_open() {
+                s.shuttle.close(&mut s.pc, self.topo);
+                for id in s.pending_close.drain(..) {
+                    s.sched.complete(id);
+                }
+                s.pending_set.clear();
+            } else {
+                self.force_one_gate(&mut s)?;
+            }
+        }
+
+        Ok(CompileResult {
+            circuit: s.pc,
+            shuttle_stats: s.shuttle.stats(),
+            shuttle_trace: s.shuttle.trace().to_vec(),
+            regular_gates: s.regular_gates,
+            highway_percentage: self.layout.percentage(),
+        })
+    }
+
+    /// Executes everything executable right now; returns whether any gate
+    /// was completed or any highway component executed.
+    fn round_pass(&self, s: &mut Session<'_>) -> Result<bool, CompileError> {
+        let mut progressed = false;
+
+        // Phase A: free one-qubit gates and measurements.
+        loop {
+            let mut acted = false;
+            for id in s.sched.ready() {
+                if s.pending_set.contains(&id) {
+                    continue;
+                }
+                match s.circuit.gates()[id.index()] {
+                    Gate::One { q, .. } => {
+                        let p = s.mapping.phys(q);
+                        s.pc.one_qubit(p);
+                        s.sched.complete(id);
+                        acted = true;
+                    }
+                    Gate::Measure { q } => {
+                        let p = s.mapping.phys(q);
+                        s.pc.measure(p);
+                        s.sched.complete(id);
+                        acted = true;
+                    }
+                    Gate::Two { .. } => {}
+                }
+            }
+            if acted {
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Phase B: aggregate and execute highway gates.
+        let ready2: Vec<GateId> = s
+            .sched
+            .ready()
+            .into_iter()
+            .filter(|id| !s.pending_set.contains(id))
+            .filter(|id| s.circuit.gates()[id.index()].is_two_qubit())
+            .collect();
+        let (groups, regular) = aggregate_controlled(
+            s.circuit,
+            &ready2,
+            AggregateOptions {
+                min_components: self.config.min_components,
+            },
+        );
+        // Stop attempting groups after a few consecutive congestion
+        // failures: with the largest groups first, further ones would
+        // mostly fail too, and they retry next shuttle anyway.
+        let mut consecutive_failures = 0u32;
+        for group in &groups {
+            if consecutive_failures >= 3 {
+                break;
+            }
+            let executed = self.try_group(s, group);
+            if executed.is_empty() {
+                consecutive_failures += 1;
+            } else {
+                consecutive_failures = 0;
+                progressed = true;
+                for id in executed {
+                    s.pending_set.insert(id);
+                    s.pending_close.push(id);
+                }
+            }
+        }
+
+        // Phase C: regular two-qubit gates (off-highway).
+        let pinned = self.pinned(s);
+        for id in regular {
+            let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
+                continue;
+            };
+            // Never displace a pinned hub; its gates wait for the close.
+            if pinned.contains(&s.mapping.phys(a)) || pinned.contains(&s.mapping.phys(b)) {
+                continue;
+            }
+            match s
+                .router
+                .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &pinned)
+            {
+                Ok(()) => {
+                    s.sched.complete(id);
+                    s.regular_gates += 1;
+                    progressed = true;
+                }
+                Err(_) if s.shuttle.is_open() => {
+                    // Blocked by live highway claims; retry after close.
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        Ok(progressed)
+    }
+
+    /// The positions local routing must not displace or traverse: hubs of
+    /// open groups and highway qubits holding live GHZ states.
+    fn pinned(&self, s: &Session<'_>) -> HashSet<PhysQubit> {
+        let mut pinned = s.shuttle.pinned();
+        pinned.extend(s.shuttle.occupancy.claimed_nodes());
+        pinned
+    }
+
+    /// Guaranteed-progress fallback: executes the first ready two-qubit
+    /// gate as a regular gate with the shuttle closed.
+    fn force_one_gate(&self, s: &mut Session<'_>) -> Result<(), CompileError> {
+        debug_assert!(!s.shuttle.is_open());
+        let id = s
+            .sched
+            .ready()
+            .into_iter()
+            .find(|id| !s.pending_set.contains(id))
+            .expect("unfinished schedule has a ready gate");
+        let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
+            unreachable!("phase A executes all ready non-2q gates");
+        };
+        s.router
+            .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &HashSet::new())?;
+        s.sched.complete(id);
+        s.regular_gates += 1;
+        Ok(())
+    }
+
+    /// Attempts to execute a multi-target gate on the highway. Returns the
+    /// component gate ids that were executed (empty = the group could not
+    /// assemble and was abandoned; its gates stay ready).
+    fn try_group(&self, s: &mut Session<'_>, group: &MultiTargetGate) -> Vec<GateId> {
+        let gid = s.shuttle.next_group_id();
+        let pinned = self.pinned(s);
+
+        // Hub entrance: earliest execution time among claimable candidates.
+        let hub_pos = s.mapping.phys(group.hub);
+        let hub_opts = s
+            .entrances_at(self.topo, self.layout, hub_pos, self.config.entrance_candidates)
+            .to_vec();
+        let hub_choice = hub_opts
+            .iter()
+            .filter(|o| s.shuttle.occupancy.available_for(o.entrance, gid))
+            .filter(|o| !pinned.contains(&o.access) && !pinned.contains(&o.entrance))
+            .min_by_key(|o| {
+                let t_arr = s.pc.time(hub_pos) + u64::from(3 * o.distance);
+                let t_ava = s.pc.time(o.entrance);
+                (t_arr.max(t_ava), o.distance)
+            })
+            .copied();
+        let Some(hub_choice) = hub_choice else {
+            return Vec::new();
+        };
+        if s
+            .shuttle
+            .occupancy
+            .claim_route(self.layout, hub_choice.entrance, hub_choice.entrance, gid)
+            .is_err()
+        {
+            return Vec::new();
+        }
+
+        // Component entrances, assigned in ascending order of distance to
+        // the highway (paper §6.1), each claiming a highway route from the
+        // hub entrance with maximal reuse.
+        let mut comps: Vec<(GateId, mech_circuit::Qubit, u32)> = Vec::new();
+        for c in &group.components {
+            let pos = s.mapping.phys(c.other);
+            let d = s
+                .entrances_at(self.topo, self.layout, pos, self.config.entrance_candidates)
+                .first()
+                .map_or(u32::MAX, |o| o.distance);
+            comps.push((c.gate, c.other, d));
+        }
+        comps.sort_by_key(|&(_, _, d)| d);
+
+        let mut chosen: Vec<(GateId, mech_circuit::Qubit, mech_highway::EntranceOption)> =
+            Vec::new();
+        let mut entrances: HashSet<PhysQubit> = HashSet::from([hub_choice.entrance]);
+        for (gate, other, _) in comps {
+            let pos = s.mapping.phys(other);
+            let opts = s
+                .entrances_at(self.topo, self.layout, pos, self.config.entrance_candidates)
+                .to_vec();
+            let mut ranked: Vec<_> = opts
+                .iter()
+                // The hub's entrance is consumed by the attach measurement;
+                // components must enter elsewhere.
+                .filter(|o| o.entrance != hub_choice.entrance)
+                .filter(|o| !pinned.contains(&o.access))
+                .collect();
+            ranked.sort_by_key(|o| {
+                let t_arr = s.pc.time(pos) + u64::from(3 * o.distance);
+                let t_ava = s.pc.time(o.entrance);
+                (t_arr.max(t_ava), o.distance)
+            });
+            for o in ranked {
+                if s
+                    .shuttle
+                    .occupancy
+                    .claim_route(self.layout, hub_choice.entrance, o.entrance, gid)
+                    .is_ok()
+                {
+                    entrances.insert(o.entrance);
+                    chosen.push((gate, other, *o));
+                    break;
+                }
+            }
+        }
+
+        if chosen.is_empty() {
+            s.shuttle.occupancy.release(gid);
+            return Vec::new();
+        }
+
+        // Route the hub to its access position before entangling.
+        if s
+            .router
+            .route_to(
+                &mut s.pc,
+                &mut s.mapping,
+                group.hub,
+                hub_choice.access,
+                &pinned,
+            )
+            .is_err()
+        {
+            s.shuttle.occupancy.release(gid);
+            return Vec::new();
+        }
+
+        // GHZ preparation over the claimed tree.
+        let nodes = s.shuttle.occupancy.nodes_of(gid).to_vec();
+        let edges = s.shuttle.occupancy.edges_of(gid).to_vec();
+        let prep = match self.config.ghz_style {
+            crate::GhzStyle::MeasurementBased => {
+                prepare_ghz(&mut s.pc, self.topo, self.layout, &nodes, &edges, &entrances)
+            }
+            crate::GhzStyle::Chain => {
+                prepare_ghz_chain(&mut s.pc, self.topo, self.layout, &nodes, &edges)
+            }
+        };
+
+        let conjugated = group.kind == GroupKind::Conjugated;
+        s.shuttle.register_group(
+            ActiveGroup {
+                id: gid,
+                hub_data: hub_choice.access,
+                conjugated,
+            },
+            prep.live.clone(),
+        );
+        if conjugated {
+            s.pc.one_qubit(hub_choice.access); // opening H on the hub
+        }
+        s.shuttle.attach_hub(
+            &mut s.pc,
+            self.topo,
+            gid,
+            hub_choice.access,
+            hub_choice.entrance,
+        );
+
+        // Stream the components; hubs of other groups stay pinned.
+        let pinned = self.pinned(s);
+        let mut executed = Vec::new();
+        for (gate, other, opt) in chosen {
+            if s
+                .router
+                .route_to(&mut s.pc, &mut s.mapping, other, opt.access, &pinned)
+                .is_err()
+            {
+                continue; // stays ready; retried in a later shuttle
+            }
+            s.shuttle
+                .component(&mut s.pc, self.topo, gid, opt.entrance, opt.access);
+            executed.push(gate);
+        }
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::ChipletSpec;
+    use mech_circuit::benchmarks::{bernstein_vazirani, qaoa_maxcut, qft, random_circuit};
+    use mech_circuit::Qubit;
+
+    fn setup(d: u32, rows: u32, cols: u32) -> (Topology, HighwayLayout) {
+        let topo = ChipletSpec::square(d, rows, cols).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        (topo, hw)
+    }
+
+    #[test]
+    fn empty_circuit_compiles_to_nothing() {
+        let (topo, hw) = setup(5, 1, 1);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let r = c.compile(&Circuit::new(4)).unwrap();
+        assert_eq!(r.circuit.depth(), 0);
+        assert_eq!(r.shuttle_stats.shuttles, 0);
+    }
+
+    #[test]
+    fn oversized_program_is_rejected() {
+        let (topo, hw) = setup(4, 1, 1);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let err = c.compile(&Circuit::new(100)).unwrap_err();
+        assert!(matches!(err, CompileError::TooManyQubits { .. }));
+    }
+
+    #[test]
+    fn bv_uses_a_single_shuttle() {
+        let (topo, hw) = setup(6, 2, 2);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let n = 30.min(hw.num_data_qubits());
+        let r = c.compile(&bernstein_vazirani(n, 3)).unwrap();
+        assert_eq!(r.shuttle_stats.shuttles, 1, "BV oracle fits one shuttle");
+        assert!(r.shuttle_stats.components >= u64::from(n / 2) - 1);
+    }
+
+    #[test]
+    fn qft_completes_all_gates() {
+        let (topo, hw) = setup(5, 2, 2);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let n = 20;
+        let program = qft(n);
+        let r = c.compile(&program).unwrap();
+        // All measurements present.
+        assert_eq!(r.circuit.counts().measurements >= u64::from(n), true);
+        assert!(r.shuttle_stats.highway_gates > 0);
+        assert!(r.circuit.depth() > 0);
+    }
+
+    #[test]
+    fn qaoa_shares_shuttles_across_groups() {
+        let (topo, hw) = setup(6, 2, 2);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let r = c.compile(&qaoa_maxcut(24, 1, 5)).unwrap();
+        assert!(
+            r.shuttle_stats.highway_gates > r.shuttle_stats.shuttles,
+            "several multi-target gates should share shuttles: {} gates / {} shuttles",
+            r.shuttle_stats.highway_gates,
+            r.shuttle_stats.shuttles
+        );
+    }
+
+    #[test]
+    fn small_gates_run_off_highway() {
+        let (topo, hw) = setup(5, 1, 1);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let mut prog = Circuit::new(4);
+        prog.cnot(Qubit(0), Qubit(1)).unwrap();
+        prog.cnot(Qubit(2), Qubit(3)).unwrap();
+        let r = c.compile(&prog).unwrap();
+        assert_eq!(r.shuttle_stats.highway_gates, 0);
+        assert_eq!(r.regular_gates, 2);
+    }
+
+    #[test]
+    fn random_circuits_compile_on_all_densities() {
+        for density in 1..=2 {
+            let topo = ChipletSpec::square(7, 2, 2).build();
+            let hw = HighwayLayout::generate(&topo, density);
+            let config = CompilerConfig {
+                highway_density: density,
+                ..CompilerConfig::default()
+            };
+            let c = MechCompiler::new(&topo, &hw, config);
+            let r = c.compile(&random_circuit(40, 150, density as u64)).unwrap();
+            assert!(r.circuit.depth() > 0);
+        }
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let (topo, hw) = setup(6, 2, 2);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let prog = qaoa_maxcut(20, 1, 11);
+        let a = c.compile(&prog).unwrap();
+        let b = c.compile(&prog).unwrap();
+        assert_eq!(a.circuit.depth(), b.circuit.depth());
+        assert_eq!(a.circuit.counts(), b.circuit.counts());
+    }
+
+    #[test]
+    fn chain_ghz_style_trades_depth_for_measurements() {
+        let (topo, hw) = setup(7, 2, 2);
+        let n = hw.num_data_qubits();
+        let program = bernstein_vazirani(n, 5);
+        let mb = MechCompiler::new(&topo, &hw, CompilerConfig::default())
+            .compile(&program)
+            .unwrap();
+        let chain_cfg = CompilerConfig {
+            ghz_style: crate::GhzStyle::Chain,
+            ..CompilerConfig::default()
+        };
+        let chain = MechCompiler::new(&topo, &hw, chain_cfg)
+            .compile(&program)
+            .unwrap();
+        // The cascade needs no preparation measurements (the growth of its
+        // preparation *depth* with path length is asserted at the
+        // mechanism level in mech-highway's tests).
+        assert!(chain.circuit.counts().measurements < mb.circuit.counts().measurements);
+        assert_eq!(
+            chain.shuttle_stats.components, mb.shuttle_stats.components,
+            "both styles execute the same logical components"
+        );
+    }
+
+    #[test]
+    fn shuttle_trace_matches_stats() {
+        let (topo, hw) = setup(6, 2, 2);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let r = c.compile(&qaoa_maxcut(24, 1, 5)).unwrap();
+        assert_eq!(r.shuttle_trace.len() as u64, r.shuttle_stats.shuttles);
+        let traced_components: u64 = r.shuttle_trace.iter().map(|t| t.components).sum();
+        assert_eq!(traced_components, r.shuttle_stats.components);
+        let traced_groups: u64 = r.shuttle_trace.iter().map(|t| u64::from(t.groups)).sum();
+        assert_eq!(traced_groups, r.shuttle_stats.highway_gates);
+        // Close times are monotone.
+        for w in r.shuttle_trace.windows(2) {
+            assert!(w[0].closed_at <= w[1].closed_at);
+            assert_eq!(w[0].index + 1, w[1].index);
+        }
+    }
+
+    #[test]
+    fn metrics_are_extractable() {
+        let (topo, hw) = setup(5, 1, 2);
+        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let r = c.compile(&bernstein_vazirani(16, 1)).unwrap();
+        let m = r.metrics();
+        assert_eq!(m.depth, r.circuit.depth());
+        assert!(m.eff_cnots > 0.0);
+        assert!(r.highway_percentage > 0.0 && r.highway_percentage < 0.5);
+    }
+}

@@ -1,0 +1,75 @@
+use mech_chiplet::CostModel;
+use mech_router::SabreConfig;
+
+/// How GHZ states are prepared on claimed highway paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GhzStyle {
+    /// The paper's constant-depth scheme (Fig. 5): cluster state, measure
+    /// alternate qubits, Pauli-correct, re-entangle entrances.
+    #[default]
+    MeasurementBased,
+    /// The naive CNOT cascade (Fig. 1a): no measurements, but depth grows
+    /// with the path length. Kept for the ablation that motivates the
+    /// paper's scheme.
+    Chain,
+}
+
+/// Configuration of the MECH compiler.
+///
+/// # Example
+///
+/// ```
+/// use mech::CompilerConfig;
+/// let config = CompilerConfig {
+///     highway_density: 2,
+///     ..CompilerConfig::default()
+/// };
+/// assert_eq!(config.min_components, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompilerConfig {
+    /// Hardware latency/fidelity parameters.
+    pub cost: CostModel,
+    /// Highway corridors per chiplet per direction (paper Fig. 15: 1 ≈ 14%,
+    /// 2 ≈ 25%, 3 ≈ 41% ancilla overhead on 9×9 chiplets).
+    pub highway_density: u32,
+    /// Minimum components for a multi-target gate to ride the highway;
+    /// smaller clusters execute as regular routed gates.
+    pub min_components: usize,
+    /// Entrance candidates examined per data qubit during entrance
+    /// selection.
+    pub entrance_candidates: usize,
+    /// GHZ preparation scheme (measurement-based vs. naive chain).
+    pub ghz_style: GhzStyle,
+    /// Baseline router tuning (used by [`BaselineCompiler`]).
+    ///
+    /// [`BaselineCompiler`]: crate::BaselineCompiler
+    pub sabre: SabreConfig,
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            cost: CostModel::default(),
+            highway_density: 1,
+            min_components: 3,
+            entrance_candidates: 4,
+            ghz_style: GhzStyle::default(),
+            sabre: SabreConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CompilerConfig::default();
+        assert_eq!(c.highway_density, 1);
+        assert!(c.min_components >= 2);
+        assert!(c.entrance_candidates >= 1);
+        assert_eq!(c.cost, CostModel::default());
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+use mech_router::RoutingError;
+
+/// Errors from compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The program has more logical qubits than the device has data qubits
+    /// (total minus highway ancillas).
+    TooManyQubits {
+        /// Logical qubits requested.
+        requested: u32,
+        /// Data qubits available.
+        available: u32,
+    },
+    /// A qubit could not be routed (disconnected data region).
+    Routing(RoutingError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::TooManyQubits {
+                requested,
+                available,
+            } => write!(
+                f,
+                "program needs {requested} data qubits but the layout provides {available}"
+            ),
+            CompileError::Routing(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Routing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RoutingError> for CompileError {
+    fn from(e: RoutingError) -> Self {
+        CompileError::Routing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::PhysQubit;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = CompileError::TooManyQubits {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = CompileError::Routing(RoutingError::Disconnected {
+            from: PhysQubit(0),
+            to: PhysQubit(1),
+        });
+        assert!(e.to_string().starts_with("routing failed"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Program-level fidelity estimation.
+//!
+//! The paper's §7.1 error model: with per-operation error rates `p_i` and
+//! counts `n_i`, the program success probability is `Π (1 − p_i)^{n_i}`,
+//! whose first-order expansion motivates the `#eff_CNOTs` metric. This
+//! module evaluates the exact product for physical error-rate assumptions,
+//! letting users translate compiled circuits into estimated success
+//! probabilities on hardware of a given quality.
+
+use crate::metrics::Metrics;
+
+/// Physical error rates, as absolute probabilities per operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRates {
+    /// On-chip two-qubit gate error rate (`p_on`).
+    pub on_chip: f64,
+    /// Cross-chip two-qubit gate error rate.
+    pub cross_chip: f64,
+    /// Measurement error rate.
+    pub measurement: f64,
+}
+
+impl ErrorRates {
+    /// Error rates from an on-chip baseline and the cost-model ratios
+    /// (`p_cross = ratio·p_on`, etc.).
+    pub fn from_ratios(on_chip: f64, cross_ratio: f64, meas_ratio: f64) -> Self {
+        ErrorRates {
+            on_chip,
+            cross_chip: on_chip * cross_ratio,
+            measurement: on_chip * meas_ratio,
+        }
+    }
+
+    /// Near-term rates quoted in the paper's introduction: `p_on = 1e-3`
+    /// (interference couplers), with the §7.2 ratios 7.4 and 2.2.
+    pub fn near_term() -> Self {
+        ErrorRates::from_ratios(1e-3, 7.4, 2.2)
+    }
+}
+
+/// Estimated success probability of a compiled circuit:
+/// `(1−p_on)^{n_on} · (1−p_cross)^{n_cross} · (1−p_meas)^{n_meas}`.
+///
+/// # Example
+///
+/// ```
+/// use mech::{fidelity::{success_probability, ErrorRates}, Metrics};
+/// let m = Metrics {
+///     depth: 10,
+///     on_chip_cnots: 100,
+///     cross_chip_cnots: 10,
+///     measurements: 20,
+///     eff_cnots: 0.0,
+/// };
+/// let p = success_probability(&m, &ErrorRates::near_term());
+/// assert!(p > 0.7 && p < 1.0);
+/// ```
+pub fn success_probability(metrics: &Metrics, rates: &ErrorRates) -> f64 {
+    (1.0 - rates.on_chip).powf(metrics.on_chip_cnots as f64)
+        * (1.0 - rates.cross_chip).powf(metrics.cross_chip_cnots as f64)
+        * (1.0 - rates.measurement).powf(metrics.measurements as f64)
+}
+
+/// First-order approximation `Σ n_i · p_i` of the failure probability —
+/// proportional to `#eff_CNOTs` by construction.
+pub fn first_order_error(metrics: &Metrics, rates: &ErrorRates) -> f64 {
+    metrics.on_chip_cnots as f64 * rates.on_chip
+        + metrics.cross_chip_cnots as f64 * rates.cross_chip
+        + metrics.measurements as f64 * rates.measurement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(on: u64, cross: u64, meas: u64) -> Metrics {
+        Metrics {
+            depth: 1,
+            on_chip_cnots: on,
+            cross_chip_cnots: cross,
+            measurements: meas,
+            eff_cnots: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_circuit_always_succeeds() {
+        let p = success_probability(&metrics(0, 0, 0), &ErrorRates::near_term());
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_operations_lower_success() {
+        let r = ErrorRates::near_term();
+        let a = success_probability(&metrics(100, 0, 0), &r);
+        let b = success_probability(&metrics(200, 0, 0), &r);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn cross_chip_gates_cost_more() {
+        let r = ErrorRates::near_term();
+        let on = success_probability(&metrics(10, 0, 0), &r);
+        let cross = success_probability(&metrics(0, 10, 0), &r);
+        assert!(cross < on);
+    }
+
+    #[test]
+    fn first_order_matches_eff_cnot_weighting() {
+        let r = ErrorRates::from_ratios(1e-3, 7.4, 2.2);
+        let m = metrics(100, 10, 20);
+        let fo = first_order_error(&m, &r);
+        // 1e-3 * (100 + 74 + 44) = 0.218
+        assert!((fo - 0.218).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_and_first_order_agree_for_small_errors() {
+        let r = ErrorRates::from_ratios(1e-5, 7.4, 2.2);
+        let m = metrics(1000, 100, 200);
+        let exact_fail = 1.0 - success_probability(&m, &r);
+        let fo = first_order_error(&m, &r);
+        assert!((exact_fail - fo).abs() / fo < 0.02);
+    }
+}

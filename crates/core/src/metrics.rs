@@ -1,0 +1,111 @@
+use std::fmt;
+
+use mech_chiplet::PhysCircuit;
+
+/// The paper's evaluation metrics for one compiled circuit (§7.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Circuit depth counting 2-qubit gates as 1 and measurements as the
+    /// cost model's measurement latency; 1-qubit gates are free.
+    pub depth: u64,
+    /// On-chip two-qubit gates.
+    pub on_chip_cnots: u64,
+    /// Cross-chip two-qubit gates.
+    pub cross_chip_cnots: u64,
+    /// Measurements.
+    pub measurements: u64,
+    /// Error-weighted operation count:
+    /// `#on + (p_cross/p_on)·#cross + (p_meas/p_on)·#meas`.
+    pub eff_cnots: f64,
+}
+
+impl Metrics {
+    /// Extracts metrics from a compiled physical circuit.
+    pub fn from_circuit(pc: &PhysCircuit) -> Self {
+        let c = pc.counts();
+        Metrics {
+            depth: pc.depth(),
+            on_chip_cnots: c.on_chip_cnots,
+            cross_chip_cnots: c.cross_chip_cnots,
+            measurements: c.measurements,
+            eff_cnots: pc.eff_cnots(),
+        }
+    }
+
+    /// Fractional improvement of `self` over `baseline` in depth
+    /// (`1 − depth/baseline`; positive means `self` is better).
+    pub fn depth_improvement_over(&self, baseline: &Metrics) -> f64 {
+        1.0 - self.depth as f64 / baseline.depth as f64
+    }
+
+    /// Fractional improvement of `self` over `baseline` in effective CNOTs.
+    pub fn eff_cnots_improvement_over(&self, baseline: &Metrics) -> f64 {
+        1.0 - self.eff_cnots / baseline.eff_cnots
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth={} on={} cross={} meas={} eff_cnots={:.1}",
+            self.depth, self.on_chip_cnots, self.cross_chip_cnots, self.measurements, self.eff_cnots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::{ChipletSpec, CostModel, PhysQubit};
+
+    #[test]
+    fn metrics_mirror_circuit_counters() {
+        let topo = ChipletSpec::square(4, 1, 2).build();
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        pc.two_qubit(&topo, PhysQubit(0), PhysQubit(1));
+        let cross_a = topo.qubit_at(0, 3).unwrap();
+        let cross_b = topo.qubit_at(0, 4).unwrap();
+        pc.two_qubit(&topo, cross_a, cross_b);
+        pc.measure(PhysQubit(0));
+        let m = Metrics::from_circuit(&pc);
+        assert_eq!(m.on_chip_cnots, 1);
+        assert_eq!(m.cross_chip_cnots, 1);
+        assert_eq!(m.measurements, 1);
+        assert!((m.eff_cnots - (1.0 + 7.4 + 2.2)).abs() < 1e-9);
+        assert_eq!(m.depth, 3); // cnot then measurement on qubit 0
+    }
+
+    #[test]
+    fn improvements_are_signed_fractions() {
+        let a = Metrics {
+            depth: 50,
+            on_chip_cnots: 0,
+            cross_chip_cnots: 0,
+            measurements: 0,
+            eff_cnots: 100.0,
+        };
+        let b = Metrics {
+            depth: 100,
+            on_chip_cnots: 0,
+            cross_chip_cnots: 0,
+            measurements: 0,
+            eff_cnots: 80.0,
+        };
+        assert!((a.depth_improvement_over(&b) - 0.5).abs() < 1e-12);
+        assert!(a.eff_cnots_improvement_over(&b) < 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Metrics {
+            depth: 1,
+            on_chip_cnots: 2,
+            cross_chip_cnots: 3,
+            measurements: 4,
+            eff_cnots: 5.0,
+        };
+        let s = m.to_string();
+        assert!(s.contains("depth=1") && s.contains("eff_cnots=5.0"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Enumeration of highway entrances reachable from a data qubit.
+//!
+//! An *entrance* is a highway qubit adjacent to some data qubit (the
+//! *access* position). To execute a highway-gate component, the data qubit
+//! is SWAP-routed (through data qubits only — the highway must not be
+//! disturbed) to the access position and then interacts with the entrance
+//! directly.
+
+use std::collections::VecDeque;
+
+use mech_chiplet::{HighwayLayout, PhysQubit, Topology};
+
+/// One way for a data qubit to reach the highway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntranceOption {
+    /// The highway qubit to interact with.
+    pub entrance: PhysQubit,
+    /// The data qubit adjacent to `entrance` where the traveling qubit must
+    /// arrive.
+    pub access: PhysQubit,
+    /// SWAP distance from the data qubit's current position to `access`
+    /// (hops through data qubits only).
+    pub distance: u32,
+}
+
+/// Finds up to `limit` entrance options for the data qubit at `from`,
+/// ordered by increasing SWAP distance (paper §6.1: candidates are scanned
+/// from nearby highway qubits outward).
+///
+/// The search walks the coupling graph restricted to data qubits, so a
+/// returned `distance` is always realizable by SWAP insertion without
+/// touching the highway.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{ChipletSpec, HighwayLayout};
+/// use mech_highway::entrance_candidates;
+///
+/// let topo = ChipletSpec::square(7, 1, 1).build();
+/// let hw = HighwayLayout::generate(&topo, 1);
+/// let from = hw.data_qubits()[0];
+/// let opts = entrance_candidates(&topo, &hw, from, 4);
+/// assert!(!opts.is_empty());
+/// assert!(opts.windows(2).all(|w| w[0].distance <= w[1].distance));
+/// ```
+pub fn entrance_candidates(
+    topo: &Topology,
+    layout: &HighwayLayout,
+    from: PhysQubit,
+    limit: usize,
+) -> Vec<EntranceOption> {
+    assert!(
+        !layout.is_highway(from),
+        "entrance search starts from a data qubit"
+    );
+    let mut options: Vec<EntranceOption> = Vec::new();
+    let mut dist = vec![u32::MAX; topo.num_qubits() as usize];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::from([from]);
+
+    while let Some(v) = queue.pop_front() {
+        // Every highway neighbor of this data position is an entrance.
+        for link in topo.neighbors(v) {
+            if layout.is_highway(link.to)
+                && !options
+                    .iter()
+                    .any(|o| o.entrance == link.to && o.distance <= dist[v.index()])
+            {
+                options.push(EntranceOption {
+                    entrance: link.to,
+                    access: v,
+                    distance: dist[v.index()],
+                });
+            }
+        }
+        if options.len() >= limit {
+            break;
+        }
+        for link in topo.neighbors(v) {
+            let n = link.to;
+            if !layout.is_highway(n) && dist[n.index()] == u32::MAX {
+                dist[n.index()] = dist[v.index()] + 1;
+                queue.push_back(n);
+            }
+        }
+    }
+
+    options.sort_by_key(|o| (o.distance, o.entrance, o.access));
+    options.truncate(limit);
+    options
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::ChipletSpec;
+
+    fn setup() -> (Topology, HighwayLayout) {
+        let topo = ChipletSpec::square(7, 2, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        (topo, hw)
+    }
+
+    #[test]
+    fn adjacent_data_qubit_has_distance_zero() {
+        let (topo, hw) = setup();
+        // Find a data qubit adjacent to the highway.
+        let from = hw
+            .data_qubits()
+            .into_iter()
+            .find(|&q| topo.neighbors(q).iter().any(|l| hw.is_highway(l.to)))
+            .unwrap();
+        let opts = entrance_candidates(&topo, &hw, from, 3);
+        assert_eq!(opts[0].distance, 0);
+        assert_eq!(opts[0].access, from);
+    }
+
+    #[test]
+    fn every_data_qubit_reaches_the_highway() {
+        let (topo, hw) = setup();
+        for q in hw.data_qubits() {
+            let opts = entrance_candidates(&topo, &hw, q, 1);
+            assert!(!opts.is_empty(), "{q} cannot reach the highway");
+        }
+    }
+
+    #[test]
+    fn access_positions_are_data_and_adjacent_to_entrance() {
+        let (topo, hw) = setup();
+        let from = hw.data_qubits()[10];
+        for o in entrance_candidates(&topo, &hw, from, 8) {
+            assert!(!hw.is_highway(o.access));
+            assert!(hw.is_highway(o.entrance));
+            assert!(topo.are_coupled(o.access, o.entrance));
+        }
+    }
+
+    #[test]
+    fn limit_caps_the_result() {
+        let (topo, hw) = setup();
+        let from = hw.data_qubits()[0];
+        assert!(entrance_candidates(&topo, &hw, from, 2).len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "data qubit")]
+    fn highway_start_is_rejected() {
+        let (topo, hw) = setup();
+        entrance_candidates(&topo, &hw, hw.nodes()[0], 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! Spatial sharing of the highway: path claiming with maximal reuse.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use mech_chiplet::{HighwayLayout, PhysQubit};
+
+/// Identifier of a multi-target gate currently holding highway resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Why a route could not be claimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// Every route from source to destination runs through qubits owned by
+    /// another gate; the component must wait for the next shuttle.
+    Congested,
+    /// An endpoint is not a highway qubit (compiler bug).
+    NotHighway {
+        /// The offending qubit.
+        qubit: PhysQubit,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Congested => write!(f, "all routes are occupied by other highway gates"),
+            RouteError::NotHighway { qubit } => {
+                write!(f, "{qubit} is not a highway qubit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Tracks which highway qubits are occupied by which multi-target gate
+/// during the current shuttle, and routes new components over the highway
+/// graph.
+///
+/// Routing minimizes the number of *additional* qubits a component claims:
+/// qubits already owned by the same gate cost 0, free qubits cost 1, and
+/// qubits owned by other gates are impassable (paper §6.1, highway
+/// routing).
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{ChipletSpec, HighwayLayout};
+/// use mech_highway::{GroupId, HighwayOccupancy};
+///
+/// let topo = ChipletSpec::square(7, 1, 2).build();
+/// let hw = HighwayLayout::generate(&topo, 1);
+/// let mut occ = HighwayOccupancy::new(&topo);
+/// let (a, b) = (hw.nodes()[0], *hw.nodes().last().unwrap());
+/// let path = occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+/// assert_eq!(path.first(), Some(&a));
+/// assert_eq!(path.last(), Some(&b));
+/// // A second gate cannot cross the claimed corridor.
+/// assert!(occ.claim_route(&hw, a, b, GroupId(1)).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HighwayOccupancy {
+    owner: Vec<Option<GroupId>>,
+    /// Edges (node pairs) actually traversed, per group — the GHZ
+    /// preparation entangles exactly these.
+    edges: HashMap<GroupId, Vec<(PhysQubit, PhysQubit)>>,
+    nodes: HashMap<GroupId, Vec<PhysQubit>>,
+}
+
+impl HighwayOccupancy {
+    /// Creates an empty occupancy table for a device with
+    /// `topo.num_qubits()` qubits.
+    pub fn new(topo: &mech_chiplet::Topology) -> Self {
+        HighwayOccupancy {
+            owner: vec![None; topo.num_qubits() as usize],
+            edges: HashMap::new(),
+            nodes: HashMap::new(),
+        }
+    }
+
+    /// The gate currently occupying `q`, if any.
+    pub fn owner(&self, q: PhysQubit) -> Option<GroupId> {
+        self.owner[q.index()]
+    }
+
+    /// `true` if `q` is unowned or owned by `g`.
+    pub fn available_for(&self, q: PhysQubit, g: GroupId) -> bool {
+        self.owner[q.index()].map_or(true, |o| o == g)
+    }
+
+    /// The qubits claimed by `g`, in claim order.
+    pub fn nodes_of(&self, g: GroupId) -> &[PhysQubit] {
+        self.nodes.get(&g).map_or(&[], Vec::as_slice)
+    }
+
+    /// The highway edges traversed by `g`'s routes.
+    pub fn edges_of(&self, g: GroupId) -> &[(PhysQubit, PhysQubit)] {
+        self.edges.get(&g).map_or(&[], Vec::as_slice)
+    }
+
+    /// All groups holding resources.
+    pub fn active_groups(&self) -> Vec<GroupId> {
+        let mut gs: Vec<GroupId> = self.nodes.keys().copied().collect();
+        gs.sort();
+        gs
+    }
+
+    /// Routes from `from` to `to` over the highway graph and claims the
+    /// path for `g`, minimizing newly claimed qubits (reuse within the same
+    /// gate is free). Returns the node path including both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::NotHighway`] if an endpoint is off the highway;
+    /// [`RouteError::Congested`] if every route crosses another gate's
+    /// claim.
+    pub fn claim_route(
+        &mut self,
+        layout: &HighwayLayout,
+        from: PhysQubit,
+        to: PhysQubit,
+        g: GroupId,
+    ) -> Result<Vec<PhysQubit>, RouteError> {
+        for q in [from, to] {
+            if !layout.is_highway(q) {
+                return Err(RouteError::NotHighway { qubit: q });
+            }
+        }
+        if !self.available_for(from, g) || !self.available_for(to, g) {
+            return Err(RouteError::Congested);
+        }
+
+        // Dijkstra over highway nodes; cost = number of nodes not yet owned
+        // by `g` (ties broken by hop count for shorter GHZ chains).
+        let n = self.owner.len();
+        let mut best: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); n];
+        let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
+        let start_cost = u32::from(!self.is_owned_by(from, g));
+        best[from.index()] = (start_cost, 0);
+        // Max-heap on Reverse ordering: store negated via Reverse tuple.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32, PhysQubit)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((start_cost, 0, from)));
+
+        while let Some(std::cmp::Reverse((cost, hops, q))) = heap.pop() {
+            if (cost, hops) > best[q.index()] {
+                continue;
+            }
+            if q == to {
+                break;
+            }
+            for nb in layout.highway_neighbors(q) {
+                if !self.available_for(nb, g) {
+                    continue;
+                }
+                let ncost = cost + u32::from(!self.is_owned_by(nb, g));
+                let nhops = hops + 1;
+                if (ncost, nhops) < best[nb.index()] {
+                    best[nb.index()] = (ncost, nhops);
+                    prev[nb.index()] = Some(q);
+                    heap.push(std::cmp::Reverse((ncost, nhops, nb)));
+                }
+            }
+        }
+
+        if best[to.index()].0 == u32::MAX {
+            return Err(RouteError::Congested);
+        }
+
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], from);
+
+        let group_nodes = self.nodes.entry(g).or_default();
+        for &q in &path {
+            if self.owner[q.index()].is_none() {
+                self.owner[q.index()] = Some(g);
+                group_nodes.push(q);
+            }
+        }
+        let group_edges = self.edges.entry(g).or_default();
+        for w in path.windows(2) {
+            let key = (w[0].min(w[1]), w[0].max(w[1]));
+            if !group_edges.contains(&key) {
+                group_edges.push(key);
+            }
+        }
+        Ok(path)
+    }
+
+    fn is_owned_by(&self, q: PhysQubit, g: GroupId) -> bool {
+        self.owner[q.index()] == Some(g)
+    }
+
+    /// Releases the resources of a single group (used when a gate fails to
+    /// assemble and abandons its claims before executing anything).
+    pub fn release(&mut self, g: GroupId) {
+        if let Some(nodes) = self.nodes.remove(&g) {
+            for q in nodes {
+                self.owner[q.index()] = None;
+            }
+        }
+        self.edges.remove(&g);
+    }
+
+    /// All currently claimed highway qubits.
+    pub fn claimed_nodes(&self) -> Vec<PhysQubit> {
+        (0..self.owner.len() as u32)
+            .map(PhysQubit)
+            .filter(|q| self.owner[q.index()].is_some())
+            .collect()
+    }
+
+    /// Releases everything (end of shuttle).
+    pub fn release_all(&mut self) {
+        self.owner.iter_mut().for_each(|o| *o = None);
+        self.edges.clear();
+        self.nodes.clear();
+    }
+
+    /// Number of currently claimed qubits.
+    pub fn claimed_count(&self) -> usize {
+        self.owner.iter().filter(|o| o.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::ChipletSpec;
+
+    fn setup() -> (mech_chiplet::Topology, HighwayLayout) {
+        let topo = ChipletSpec::square(7, 2, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        (topo, hw)
+    }
+
+    #[test]
+    fn route_claims_all_path_nodes() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        let path = occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        for q in &path {
+            assert_eq!(occ.owner(*q), Some(GroupId(0)));
+        }
+        assert_eq!(occ.claimed_count(), path.len());
+        assert_eq!(occ.nodes_of(GroupId(0)).len(), path.len());
+    }
+
+    #[test]
+    fn reuse_within_a_gate_is_free() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        let first = occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        let before = occ.claimed_count();
+        // Routing between two nodes already on the claimed path adds
+        // nothing.
+        let mid = first[first.len() / 2];
+        occ.claim_route(&hw, a, mid, GroupId(0)).unwrap();
+        assert_eq!(occ.claimed_count(), before);
+    }
+
+    #[test]
+    fn other_gates_are_impassable() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        assert_eq!(
+            occ.claim_route(&hw, a, b, GroupId(1)),
+            Err(RouteError::Congested)
+        );
+    }
+
+    #[test]
+    fn disjoint_regions_coexist() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        // Claim a short route in one corner and another far away.
+        let a = hw.nodes()[0];
+        let a2 = hw
+            .highway_neighbors(a)
+            .next()
+            .expect("corner node has a neighbor");
+        occ.claim_route(&hw, a, a2, GroupId(0)).unwrap();
+        let b = *hw.nodes().last().unwrap();
+        let b2 = hw
+            .highway_neighbors(b)
+            .next()
+            .expect("far node has a neighbor");
+        occ.claim_route(&hw, b, b2, GroupId(1)).unwrap();
+        assert_eq!(occ.active_groups(), vec![GroupId(0), GroupId(1)]);
+    }
+
+    #[test]
+    fn non_highway_endpoint_is_rejected() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let data = hw.data_qubits()[0];
+        let err = occ
+            .claim_route(&hw, data, hw.nodes()[0], GroupId(0))
+            .unwrap_err();
+        assert_eq!(err, RouteError::NotHighway { qubit: data });
+    }
+
+    #[test]
+    fn release_all_frees_everything() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        occ.release_all();
+        assert_eq!(occ.claimed_count(), 0);
+        occ.claim_route(&hw, a, b, GroupId(1)).unwrap();
+    }
+
+    #[test]
+    fn edges_follow_claimed_routes() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        let path = occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        assert_eq!(occ.edges_of(GroupId(0)).len(), path.len() - 1);
+        for (x, y) in occ.edges_of(GroupId(0)) {
+            assert!(hw.edge_between(*x, *y).is_some());
+        }
+    }
+}

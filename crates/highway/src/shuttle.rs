@@ -1,0 +1,344 @@
+//! Temporal sharing of the highway: the shuttle lifecycle.
+//!
+//! A *shuttle* is one period during which GHZ states live on the highway
+//! (paper §6.2). Within a shuttle, multi-target gates claim disjoint paths,
+//! attach their hub qubits, and stream component operations; the shuttle's
+//! period stretches dynamically as long as newly arriving components can
+//! still use free entrances. Closing the shuttle measures every remaining
+//! entangled highway qubit (with Pauli/phase corrections fed forward to the
+//! hub data qubits) and releases all paths for the next round.
+
+use std::collections::{HashMap, HashSet};
+
+use mech_chiplet::{PhysCircuit, PhysQubit, Topology};
+
+use crate::occupancy::{GroupId, HighwayOccupancy};
+
+/// A multi-target gate holding highway resources in the current shuttle.
+#[derive(Debug, Clone)]
+pub struct ActiveGroup {
+    /// The occupancy group.
+    pub id: GroupId,
+    /// Physical position of the hub data qubit (pinned until close).
+    pub hub_data: PhysQubit,
+    /// Whether the hub is Hadamard-conjugated (shared-target aggregation).
+    pub conjugated: bool,
+}
+
+/// Counters reported by the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShuttleStats {
+    /// Number of shuttles (GHZ prepare/consume rounds).
+    pub shuttles: u64,
+    /// Multi-target gates executed on the highway.
+    pub highway_gates: u64,
+    /// Total 2-qubit components executed on the highway.
+    pub components: u64,
+}
+
+/// One closed shuttle, for timeline inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShuttleRecord {
+    /// 0-based shuttle index.
+    pub index: u64,
+    /// Time at which the closing corrections completed (depth units).
+    pub closed_at: u64,
+    /// Multi-target gates that shared this shuttle.
+    pub groups: u32,
+    /// Components executed during this shuttle.
+    pub components: u64,
+    /// Highway qubits that were claimed.
+    pub claimed_qubits: usize,
+}
+
+/// The state of the current shuttle: claimed paths, live GHZ qubits and the
+/// groups using them.
+#[derive(Debug, Clone)]
+pub struct ShuttleState {
+    /// Path/claim bookkeeping (spatial sharing).
+    pub occupancy: HighwayOccupancy,
+    groups: Vec<ActiveGroup>,
+    live: HashMap<GroupId, HashSet<PhysQubit>>,
+    next_id: u32,
+    stats: ShuttleStats,
+    trace: Vec<ShuttleRecord>,
+    components_at_open: u64,
+}
+
+impl ShuttleState {
+    /// Creates an idle shuttle manager.
+    pub fn new(topo: &Topology) -> Self {
+        ShuttleState {
+            occupancy: HighwayOccupancy::new(topo),
+            groups: Vec::new(),
+            live: HashMap::new(),
+            next_id: 0,
+            stats: ShuttleStats::default(),
+            trace: Vec::new(),
+            components_at_open: 0,
+        }
+    }
+
+    /// The closed-shuttle timeline accumulated so far.
+    pub fn trace(&self) -> &[ShuttleRecord] {
+        &self.trace
+    }
+
+    /// Allocates a fresh group id.
+    pub fn next_group_id(&mut self) -> GroupId {
+        let id = GroupId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Registers a group whose GHZ state is prepared, recording its live
+    /// qubits.
+    pub fn register_group(
+        &mut self,
+        group: ActiveGroup,
+        live: impl IntoIterator<Item = PhysQubit>,
+    ) {
+        self.live.insert(group.id, live.into_iter().collect());
+        self.groups.push(group);
+        self.stats.highway_gates += 1;
+    }
+
+    /// `true` while any group holds highway resources.
+    pub fn is_open(&self) -> bool {
+        !self.groups.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ShuttleStats {
+        self.stats
+    }
+
+    /// The hub positions that must not be displaced by local routing while
+    /// the shuttle is open.
+    pub fn pinned(&self) -> HashSet<PhysQubit> {
+        self.groups.iter().map(|g| g.hub_data).collect()
+    }
+
+    /// Attaches the hub to the GHZ state: `CNOT(hub → entrance)`, measure
+    /// the entrance, and feed X corrections forward to the group's
+    /// remaining GHZ qubits (paper Fig. 3, left half). Returns the outcome
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entrance` is not live for this group.
+    pub fn attach_hub(
+        &mut self,
+        pc: &mut PhysCircuit,
+        topo: &Topology,
+        gid: GroupId,
+        hub_data: PhysQubit,
+        entrance: PhysQubit,
+    ) -> u64 {
+        let live = self.live.get_mut(&gid).expect("group is registered");
+        assert!(
+            live.remove(&entrance),
+            "hub entrance {entrance} is not live for {gid}"
+        );
+        pc.two_qubit(topo, hub_data, entrance);
+        let outcome = pc.measure(entrance);
+        for &q in live.iter() {
+            pc.advance(q, outcome);
+            pc.one_qubit(q); // conditional X correction (free)
+        }
+        outcome
+    }
+
+    /// Executes one gate component: a controlled operation from the live
+    /// GHZ qubit `entrance` onto the data qubit at `access`. Returns the
+    /// start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entrance` is not live for this group.
+    pub fn component(
+        &mut self,
+        pc: &mut PhysCircuit,
+        topo: &Topology,
+        gid: GroupId,
+        entrance: PhysQubit,
+        access: PhysQubit,
+    ) -> u64 {
+        assert!(
+            self.live.get(&gid).is_some_and(|l| l.contains(&entrance)),
+            "component entrance {entrance} is not live for {gid}"
+        );
+        // Basis changes on the data qubit (CZ vs CX vs CP) are free 1-qubit
+        // gates.
+        pc.one_qubit(access);
+        let t = pc.two_qubit(topo, entrance, access);
+        pc.one_qubit(access);
+        self.stats.components += 1;
+        t
+    }
+
+    /// Closes the shuttle: measures every remaining live GHZ qubit (after a
+    /// free basis-change H), feeds the phase corrections forward to each
+    /// hub, and releases all claims. Returns the time at which every hub is
+    /// corrected, or `None` if the shuttle was already idle.
+    pub fn close(&mut self, pc: &mut PhysCircuit, _topo: &Topology) -> Option<u64> {
+        if self.groups.is_empty() {
+            return None;
+        }
+        let record_groups = self.groups.len() as u32;
+        let record_claimed = self.occupancy.claimed_count();
+        let mut hub_ready = 0u64;
+        for group in &self.groups {
+            let live = self.live.remove(&group.id).unwrap_or_default();
+            let mut outcome = 0u64;
+            for &q in &live {
+                pc.one_qubit(q); // H before X-basis measurement (free)
+                outcome = outcome.max(pc.measure(q));
+            }
+            // Conditional Z (and the closing H for conjugated hubs) on the
+            // hub data qubit — free, but it must wait for the outcomes.
+            pc.advance(group.hub_data, outcome);
+            pc.one_qubit(group.hub_data);
+            if group.conjugated {
+                pc.one_qubit(group.hub_data);
+            }
+            hub_ready = hub_ready.max(pc.time(group.hub_data));
+        }
+        self.groups.clear();
+        self.occupancy.release_all();
+        self.trace.push(ShuttleRecord {
+            index: self.stats.shuttles,
+            closed_at: hub_ready,
+            groups: record_groups,
+            components: self.stats.components - self.components_at_open,
+            claimed_qubits: record_claimed,
+        });
+        self.components_at_open = self.stats.components;
+        self.stats.shuttles += 1;
+        Some(hub_ready)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghz::prepare_ghz;
+    use mech_chiplet::{ChipletSpec, CostModel, HighwayLayout, Topology};
+
+    fn setup() -> (Topology, HighwayLayout) {
+        let topo = ChipletSpec::square(7, 1, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        (topo, hw)
+    }
+
+    /// Claims a route across the device for a fresh group and prepares its
+    /// GHZ state.
+    fn open_group(
+        pc: &mut PhysCircuit,
+        topo: &Topology,
+        hw: &HighwayLayout,
+        st: &mut ShuttleState,
+    ) -> (GroupId, Vec<PhysQubit>) {
+        let gid = st.next_group_id();
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        let path = st.occupancy.claim_route(hw, a, b, gid).unwrap();
+        let entrances: HashSet<PhysQubit> = path.iter().copied().collect();
+        let nodes = st.occupancy.nodes_of(gid).to_vec();
+        let edges = st.occupancy.edges_of(gid).to_vec();
+        let prep = prepare_ghz(pc, topo, hw, &nodes, &edges, &entrances);
+        // Pick a hub access next to `a`.
+        let hub_data = topo
+            .neighbors(a)
+            .iter()
+            .map(|l| l.to)
+            .find(|&q| !hw.is_highway(q))
+            .unwrap();
+        st.register_group(
+            ActiveGroup {
+                id: gid,
+                hub_data,
+                conjugated: false,
+            },
+            prep.live.clone(),
+        );
+        (gid, prep.live)
+    }
+
+    #[test]
+    fn full_shuttle_lifecycle() {
+        let (topo, hw) = setup();
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let mut st = ShuttleState::new(&topo);
+        assert!(!st.is_open());
+
+        let (gid, live) = open_group(&mut pc, &topo, &hw, &mut st);
+        assert!(st.is_open());
+
+        // Attach hub at the first live entrance.
+        let hub_entrance = live[0];
+        let hub_data = st.pinned().into_iter().next().unwrap();
+        st.attach_hub(&mut pc, &topo, gid, hub_data, hub_entrance);
+
+        // Execute a component at another live entrance.
+        let target_entrance = *live.last().unwrap();
+        let access = topo
+            .neighbors(target_entrance)
+            .iter()
+            .map(|l| l.to)
+            .find(|&q| !hw.is_highway(q) && q != hub_data)
+            .unwrap();
+        st.component(&mut pc, &topo, gid, target_entrance, access);
+
+        let end = st.close(&mut pc, &topo).unwrap();
+        assert!(end > 0);
+        assert!(!st.is_open());
+        assert_eq!(st.stats().shuttles, 1);
+        assert_eq!(st.stats().highway_gates, 1);
+        assert_eq!(st.stats().components, 1);
+        // Occupancy is released.
+        assert_eq!(st.occupancy.claimed_count(), 0);
+    }
+
+    #[test]
+    fn close_on_idle_returns_none() {
+        let (topo, _) = setup();
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let mut st = ShuttleState::new(&topo);
+        assert_eq!(st.close(&mut pc, &topo), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn attaching_at_consumed_entrance_panics() {
+        let (topo, hw) = setup();
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let mut st = ShuttleState::new(&topo);
+        let (gid, live) = open_group(&mut pc, &topo, &hw, &mut st);
+        let hub_data = st.pinned().into_iter().next().unwrap();
+        st.attach_hub(&mut pc, &topo, gid, hub_data, live[0]);
+        // Same entrance again: must panic.
+        st.attach_hub(&mut pc, &topo, gid, hub_data, live[0]);
+    }
+
+    #[test]
+    fn hub_waits_for_closing_measurements() {
+        let (topo, hw) = setup();
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let mut st = ShuttleState::new(&topo);
+        let (gid, live) = open_group(&mut pc, &topo, &hw, &mut st);
+        let hub_data = st.pinned().into_iter().next().unwrap();
+        st.attach_hub(&mut pc, &topo, gid, hub_data, live[0]);
+        let end = st.close(&mut pc, &topo).unwrap();
+        assert_eq!(pc.time(hub_data), end);
+    }
+
+    #[test]
+    fn group_ids_are_unique() {
+        let (topo, _) = setup();
+        let mut st = ShuttleState::new(&topo);
+        let a = st.next_group_id();
+        let b = st.next_group_id();
+        assert_ne!(a, b);
+    }
+}

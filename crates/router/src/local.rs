@@ -1,0 +1,415 @@
+//! SWAP-chain local routing across the data region.
+//!
+//! MECH keeps the highway layout fixed for the whole computation, so data
+//! qubits normally travel through data positions only. When the highway
+//! corridor pinches the data region (possible on degree-3 lattices such as
+//! hexagon chiplets), the router may *cross* an idle highway qubit with a
+//! 3-SWAP pass-through that restores the ancilla to its position, or close
+//! a terminal gap with a bridge gate — never disturbing highway state.
+//! Paths always avoid *pinned* positions (hubs of open shuttles and
+//! highway qubits claimed by live GHZ states).
+
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, Topology};
+
+use crate::mapping::Mapping;
+
+/// Errors from local routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// No route exists between the endpoints even crossing idle highway
+    /// qubits (the pinned set disconnects the device).
+    Disconnected {
+        /// Route source.
+        from: PhysQubit,
+        /// Route destination.
+        to: PhysQubit,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Disconnected { from, to } => {
+                write!(f, "no data route from {from} to {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+
+/// SWAP-based router over the data region.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashSet;
+/// use mech_chiplet::{ChipletSpec, CostModel, HighwayLayout, PhysCircuit};
+/// use mech_circuit::Qubit;
+/// use mech_router::{LocalRouter, Mapping};
+///
+/// let topo = ChipletSpec::square(5, 1, 1).build();
+/// let hw = HighwayLayout::generate(&topo, 1);
+/// let data = hw.data_qubits();
+/// let mut mapping = Mapping::trivial(2, &data);
+/// let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+/// let router = LocalRouter::new(&topo, &hw);
+/// let dest = *data.last().unwrap();
+/// router
+///     .route_to(&mut pc, &mut mapping, Qubit(0), dest, &HashSet::new())
+///     .unwrap();
+/// assert_eq!(mapping.phys(Qubit(0)), dest);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LocalRouter<'a> {
+    topo: &'a Topology,
+    layout: &'a HighwayLayout,
+}
+
+impl<'a> LocalRouter<'a> {
+    /// Creates a router for the given hardware and highway layout.
+    pub fn new(topo: &'a Topology, layout: &'a HighwayLayout) -> Self {
+        LocalRouter { topo, layout }
+    }
+
+    /// Dijkstra over all unpinned positions with node weights reflecting
+    /// SWAP cost: stepping onto a data qubit costs 1 swap; stepping onto an
+    /// idle highway qubit costs 2 (the forward swap plus the restoring swap
+    /// that puts the ancilla back once the traveler has passed). A run of
+    /// `k` consecutive highway qubits therefore costs `2k + 1` swaps.
+    /// Returns the node path from `from` to `to` inclusive.
+    fn find_path(
+        &self,
+        from: PhysQubit,
+        to: PhysQubit,
+        pinned: &HashSet<PhysQubit>,
+    ) -> Result<Vec<PhysQubit>, RoutingError> {
+        if from == to {
+            return Ok(vec![from]);
+        }
+        let n = self.topo.num_qubits() as usize;
+        let mut cost = vec![u32::MAX; n];
+        let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
+        cost[from.index()] = 0;
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PhysQubit)>> = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0, from)));
+
+        while let Some(std::cmp::Reverse((c, u))) = heap.pop() {
+            if c > cost[u.index()] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for link in self.topo.neighbors(u) {
+                let v = link.to;
+                if v != to && pinned.contains(&v) {
+                    continue;
+                }
+                let step = if self.layout.is_highway(v) { 2 } else { 1 };
+                let nc = c + step;
+                if nc < cost[v.index()] {
+                    cost[v.index()] = nc;
+                    prev[v.index()] = Some(u);
+                    heap.push(std::cmp::Reverse((nc, v)));
+                }
+            }
+        }
+
+        if cost[to.index()] == u32::MAX {
+            return Err(RoutingError::Disconnected { from, to });
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], from);
+        Ok(path)
+    }
+
+    /// The SWAP cost from `from` to `to` (1 per data hop, 2 per highway
+    /// qubit crossed).
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::Disconnected`] if no route exists.
+    pub fn data_distance(
+        &self,
+        from: PhysQubit,
+        to: PhysQubit,
+        pinned: &HashSet<PhysQubit>,
+    ) -> Result<u32, RoutingError> {
+        let path = self.find_path(from, to, pinned)?;
+        Ok(path[1..]
+            .iter()
+            .map(|&q| if self.layout.is_highway(q) { 2 } else { 1 })
+            .sum())
+    }
+
+    /// Emits the swaps moving the traveler along `path` (from `path[0]` to
+    /// the last node), restoring every crossed highway ancilla to its
+    /// position. The path must end on a data qubit.
+    fn emit_path(&self, pc: &mut PhysCircuit, mapping: &mut Mapping, path: &[PhysQubit]) {
+        let mut run_start = 0usize; // index of the data node before the current highway run
+        for i in 1..path.len() {
+            pc.swap(self.topo, path[i - 1], path[i]);
+            mapping.swap_phys(path[i - 1], path[i]);
+            if self.layout.is_highway(path[i]) {
+                continue;
+            }
+            // Landed on a data qubit: restore the highway run (if any)
+            // between run_start and i by swapping backwards.
+            for j in (run_start + 1..i).rev() {
+                pc.swap(self.topo, path[j], path[j - 1]);
+                mapping.swap_phys(path[j], path[j - 1]);
+            }
+            run_start = i;
+        }
+        debug_assert!(
+            !self.layout.is_highway(*path.last().expect("nonempty")),
+            "routing must end on a data qubit"
+        );
+    }
+
+    /// Moves logical qubit `q` to physical position `dest` by SWAPs,
+    /// updating `mapping` and emitting ops.
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::Disconnected`] if no route exists.
+    pub fn route_to(
+        &self,
+        pc: &mut PhysCircuit,
+        mapping: &mut Mapping,
+        q: mech_circuit::Qubit,
+        dest: PhysQubit,
+        pinned: &HashSet<PhysQubit>,
+    ) -> Result<(), RoutingError> {
+        let from = mapping.phys(q);
+        let path = self.find_path(from, dest, pinned)?;
+        self.emit_path(pc, mapping, &path);
+        debug_assert_eq!(mapping.phys(q), dest);
+        Ok(())
+    }
+
+    /// Brings two logical qubits together and emits the two-qubit gate
+    /// between them. Used for off-highway ("regular") gates. If exactly one
+    /// idle highway qubit separates the final positions, the gate executes
+    /// as a bridge through the ancilla (4 CNOTs) instead of displacing it.
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError::Disconnected`] if no route exists.
+    pub fn execute_two_qubit(
+        &self,
+        pc: &mut PhysCircuit,
+        mapping: &mut Mapping,
+        a: mech_circuit::Qubit,
+        b: mech_circuit::Qubit,
+        pinned: &HashSet<PhysQubit>,
+    ) -> Result<(), RoutingError> {
+        for _attempt in 0..4 {
+            let pa = mapping.phys(a);
+            let pb = mapping.phys(b);
+            if self.topo.are_coupled(pa, pb) {
+                pc.two_qubit(self.topo, pa, pb);
+                return Ok(());
+            }
+            let path = self.find_path(pa, pb, pinned)?;
+            // Locate the highway run (if any) immediately before `b`'s
+            // position: the traveler must stop on the last data node.
+            let mut stop = path.len() - 1; // index of pb
+            let mut gap = 0usize;
+            while stop > 0 && self.layout.is_highway(path[stop - 1]) {
+                stop -= 1;
+                gap += 1;
+            }
+            match gap {
+                0 => {
+                    // Stop adjacent to pb on plain data.
+                    self.emit_path(pc, mapping, &path[..path.len() - 1]);
+                    let (pa, pb) = (mapping.phys(a), mapping.phys(b));
+                    pc.two_qubit(self.topo, pa, pb);
+                    return Ok(());
+                }
+                1 => {
+                    // Terminal single-qubit highway gap: bridge through the
+                    // idle ancilla.
+                    self.emit_path(pc, mapping, &path[..stop]);
+                    let at = mapping.phys(a);
+                    pc.bridge(self.topo, at, path[stop], pb);
+                    return Ok(());
+                }
+                _ => {
+                    // `b` sits behind a multi-qubit highway run: pull it
+                    // across to a data position on this side and retry.
+                    // `path[stop-1]` is the data node before the run —
+                    // unless that is `a` itself (the pair is separated
+                    // purely by the run), in which case any free data
+                    // neighbor of `a` works as the landing spot.
+                    let near = path[stop - 1];
+                    let dest = if near != pa {
+                        Some(near)
+                    } else {
+                        self.topo
+                            .neighbors(pa)
+                            .iter()
+                            .map(|l| l.to)
+                            .find(|&q| {
+                                q != pb && !self.layout.is_highway(q) && !pinned.contains(&q)
+                            })
+                    };
+                    match dest {
+                        Some(dest) => self.route_to(pc, mapping, b, dest, pinned)?,
+                        None => break,
+                    }
+                }
+            }
+        }
+        let (pa, pb) = (mapping.phys(a), mapping.phys(b));
+        Err(RoutingError::Disconnected { from: pa, to: pb })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::{ChipletSpec, CostModel, CouplingStructure};
+    use mech_circuit::Qubit;
+
+    fn setup() -> (Topology, HighwayLayout) {
+        let topo = ChipletSpec::square(7, 2, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        (topo, hw)
+    }
+
+    #[test]
+    fn route_moves_qubit_and_updates_mapping() {
+        let (topo, hw) = setup();
+        let data = hw.data_qubits();
+        let mut m = Mapping::trivial(4, &data);
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let r = LocalRouter::new(&topo, &hw);
+        let dest = *data.last().unwrap();
+        r.route_to(&mut pc, &mut m, Qubit(0), dest, &HashSet::new())
+            .unwrap();
+        assert_eq!(m.phys(Qubit(0)), dest);
+        assert!(m.is_consistent());
+        assert!(pc.counts().on_chip_cnots % 3 == 0); // swaps only
+    }
+
+    #[test]
+    fn crossing_restores_the_ancilla_mapping() {
+        let (topo, hw) = setup();
+        let data = hw.data_qubits();
+        let mut m = Mapping::trivial(data.len() as u32, &data);
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let r = LocalRouter::new(&topo, &hw);
+        // Route across the device; even if the path crosses the highway,
+        // no highway position may hold a logical qubit afterwards.
+        r.route_to(&mut pc, &mut m, Qubit(0), *data.last().unwrap(), &HashSet::new())
+            .unwrap();
+        for q in hw.nodes() {
+            assert_eq!(m.logical(*q), None, "logical qubit stranded on {q}");
+        }
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn data_region_is_routable_for_all_structures() {
+        for s in CouplingStructure::ALL {
+            let topo = ChipletSpec::new(s, 8, 2, 2).build();
+            let hw = HighwayLayout::generate(&topo, 1);
+            let r = LocalRouter::new(&topo, &hw);
+            let data = hw.data_qubits();
+            let first = data[0];
+            for &q in data.iter().skip(1) {
+                assert!(
+                    r.data_distance(first, q, &HashSet::new()).is_ok(),
+                    "{s}: cannot route from {first} to {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn execute_two_qubit_ends_with_coupled_gate() {
+        let (topo, hw) = setup();
+        let data = hw.data_qubits();
+        let mut m = Mapping::trivial(8, &data);
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let r = LocalRouter::new(&topo, &hw);
+        r.execute_two_qubit(&mut pc, &mut m, Qubit(0), Qubit(7), &HashSet::new())
+            .unwrap();
+        let last = pc.ops().last().unwrap();
+        assert!(topo.are_coupled(last.a, last.b.unwrap()));
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn adjacent_gate_needs_no_swaps() {
+        let (topo, hw) = setup();
+        let data = hw.data_qubits();
+        let (i, j) = {
+            let mut found = None;
+            'outer: for (i, &a) in data.iter().enumerate() {
+                for (j, &b) in data.iter().enumerate().skip(i + 1) {
+                    if topo.are_coupled(a, b) {
+                        found = Some((i, j));
+                        break 'outer;
+                    }
+                }
+            }
+            found.unwrap()
+        };
+        let mut m = Mapping::trivial(data.len() as u32, &data);
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let r = LocalRouter::new(&topo, &hw);
+        r.execute_two_qubit(
+            &mut pc,
+            &mut m,
+            Qubit(i as u32),
+            Qubit(j as u32),
+            &HashSet::new(),
+        )
+        .unwrap();
+        assert_eq!(pc.counts().on_chip_cnots + pc.counts().cross_chip_cnots, 1);
+    }
+
+    #[test]
+    fn pinned_blockade_reports_disconnected() {
+        let (topo, hw) = setup();
+        let data = hw.data_qubits();
+        let mut m = Mapping::trivial(1, &data);
+        let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
+        let r = LocalRouter::new(&topo, &hw);
+        // Pin every qubit except source and destination: nothing can move.
+        let dest = *data.last().unwrap();
+        let pinned: HashSet<PhysQubit> = topo
+            .qubits()
+            .filter(|&q| q != data[0] && q != dest)
+            .collect();
+        assert_eq!(
+            r.route_to(&mut pc, &mut m, Qubit(0), dest, &pinned),
+            Err(RoutingError::Disconnected {
+                from: data[0],
+                to: dest
+            })
+        );
+    }
+
+    #[test]
+    fn distance_zero_for_same_position() {
+        let (topo, hw) = setup();
+        let r = LocalRouter::new(&topo, &hw);
+        let q = hw.data_qubits()[0];
+        assert_eq!(r.data_distance(q, q, &HashSet::new()), Ok(0));
+    }
+}

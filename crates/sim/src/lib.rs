@@ -1,0 +1,39 @@
+//! A small dense state-vector simulator.
+//!
+//! The MECH compiler never simulates states — its evaluation is purely
+//! structural (depth and weighted gate counts, like the paper's). This
+//! crate exists to *verify the physics the compiler relies on*:
+//!
+//! * the measurement-based GHZ preparation (paper Figs. 5–8) produces the
+//!   same state as the naive CNOT chain;
+//! * the multi-entry communication protocol (paper Fig. 3) — entangle the
+//!   control into a GHZ state, measure, correct, apply per-target
+//!   controlled gates, measure the highway back out — is equivalent to
+//!   executing the controlled gates directly;
+//! * the bridge-gate and Hadamard-conjugation identities used by the
+//!   router and the aggregator.
+//!
+//! Those equivalences are exercised in [`protocol`]'s tests, turning the
+//! paper's circuit identities into executable checks.
+//!
+//! # Example
+//!
+//! ```
+//! use mech_sim::State;
+//!
+//! // A 2-qubit Bell pair.
+//! let mut s = State::zero(2);
+//! s.h(0);
+//! s.cnot(0, 1);
+//! assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+//! assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+//! ```
+
+mod complex;
+mod executor;
+pub mod protocol;
+mod state;
+
+pub use complex::C64;
+pub use executor::{run_circuit, RunOutcome};
+pub use state::State;

@@ -1,0 +1,14 @@
+//! Umbrella crate for the MECH reproduction workspace.
+//!
+//! This crate exists so that repository-level `examples/` and `tests/` can
+//! exercise the public API of every member crate. Library users should depend
+//! on [`mech`] (the compiler), and on the substrate crates
+//! ([`mech_circuit`], [`mech_chiplet`], [`mech_highway`], [`mech_router`])
+//! directly.
+
+pub use mech;
+pub use mech_chiplet;
+pub use mech_circuit;
+pub use mech_highway;
+pub use mech_router;
+pub use mech_sim;
