@@ -49,7 +49,10 @@ fn main() {
     if args.csv {
         println!("latency,program,depth_improvement");
     } else {
-        println!("{:>8} {:<10} {:>18}", "latency", "program", "depth improvement");
+        println!(
+            "{:>8} {:<10} {:>18}",
+            "latency", "program", "depth improvement"
+        );
     }
     for &lat in latencies {
         let config = CompilerConfig {
@@ -86,7 +89,10 @@ fn main() {
     if args.csv {
         println!("meas_ratio,program,eff_improvement");
     } else {
-        println!("{:>10} {:<10} {:>18}", "ratio", "program", "eff improvement");
+        println!(
+            "{:>10} {:<10} {:>18}",
+            "ratio", "program", "eff improvement"
+        );
     }
     for &ratio in &[0.5, 1.0, 2.0, 3.0, 4.0, 5.0] {
         let cost = CostModel {
@@ -99,7 +105,12 @@ fn main() {
             if args.csv {
                 println!("{ratio},{},{imp:.4}", o.bench);
             } else {
-                println!("{:>10} {:<10} {:>17.1}%", ratio, o.bench.name(), 100.0 * imp);
+                println!(
+                    "{:>10} {:<10} {:>17.1}%",
+                    ratio,
+                    o.bench.name(),
+                    100.0 * imp
+                );
             }
         }
     }
@@ -109,7 +120,10 @@ fn main() {
     if args.csv {
         println!("cross_ratio,program,eff_improvement");
     } else {
-        println!("{:>10} {:<10} {:>18}", "ratio", "program", "eff improvement");
+        println!(
+            "{:>10} {:<10} {:>18}",
+            "ratio", "program", "eff improvement"
+        );
     }
     for &ratio in &[4.0, 5.0, 6.0, 7.0, 8.0, 9.0] {
         let cost = CostModel {
@@ -122,7 +136,12 @@ fn main() {
             if args.csv {
                 println!("{ratio},{},{imp:.4}", o.bench);
             } else {
-                println!("{:>10} {:<10} {:>17.1}%", ratio, o.bench.name(), 100.0 * imp);
+                println!(
+                    "{:>10} {:<10} {:>17.1}%",
+                    ratio,
+                    o.bench.name(),
+                    100.0 * imp
+                );
             }
         }
     }

@@ -38,10 +38,7 @@ fn main() {
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {
-                println!(
-                    "{density},{:.3},{},{nd:.4},{ne:.4}",
-                    o.highway_pct, bench
-                );
+                println!("{density},{:.3},{},{nd:.4},{ne:.4}", o.highway_pct, bench);
             } else {
                 println!(
                     "{:>8} {:>6.1}% {:<10} {:>17.3} {:>21.3}",

@@ -179,13 +179,7 @@ mod tests {
     #[test]
     fn run_cell_produces_consistent_outcome() {
         let spec = ChipletSpec::square(5, 1, 2);
-        let o = run_cell(
-            spec,
-            1,
-            Benchmark::Bv,
-            1,
-            CompilerConfig::default(),
-        );
+        let o = run_cell(spec, 1, Benchmark::Bv, 1, CompilerConfig::default());
         assert!(o.data_qubits > 0);
         assert!(o.mech.depth > 0 && o.baseline.depth > 0);
         assert!(o.highway_pct > 0.0);

@@ -208,7 +208,7 @@ impl HighwayLayout {
             let mut last_hw: Option<usize> = None;
             for (i, &q) in path.iter().enumerate() {
                 let must = forced.contains(&q)
-                    || last_hw.map_or(true, |l| i - l >= 2)
+                    || last_hw.is_none_or(|l| i - l >= 2)
                     || i + 1 == path.len();
                 if must {
                     is_highway[q.index()] = true;
@@ -224,13 +224,13 @@ impl HighwayLayout {
         // qubits (distance 1 -> direct, distance 2 -> bridge).
         let mut edge_keys: HashSet<(PhysQubit, PhysQubit)> = HashSet::new();
         let mut edges: Vec<HighwayEdge> = Vec::new();
-        let mut push_edge = |a: PhysQubit, b: PhysQubit, kind: HighwayEdgeKind,
-                             edges: &mut Vec<HighwayEdge>| {
-            let key = (a.min(b), a.max(b));
-            if edge_keys.insert(key) {
-                edges.push(HighwayEdge { a, b, kind });
-            }
-        };
+        let mut push_edge =
+            |a: PhysQubit, b: PhysQubit, kind: HighwayEdgeKind, edges: &mut Vec<HighwayEdge>| {
+                let key = (a.min(b), a.max(b));
+                if edge_keys.insert(key) {
+                    edges.push(HighwayEdge { a, b, kind });
+                }
+            };
 
         for path in &paths {
             let hw_pos: Vec<usize> = (0..path.len())
@@ -308,8 +308,7 @@ impl HighwayLayout {
 
     /// The edge between two highway qubits, if any.
     pub fn edge_between(&self, a: PhysQubit, b: PhysQubit) -> Option<&HighwayEdge> {
-        self.incident_edges(a)
-            .find(|e| e.a == b || e.b == b)
+        self.incident_edges(a).find(|e| e.a == b || e.b == b)
     }
 
     /// Number of ancillary qubits.
@@ -390,7 +389,7 @@ fn nearest_in_chiplet(topo: &Topology, chip: ChipletId, r: u32, c: u32) -> PhysQ
             if let Some(q) = topo.qubit_at(gr0 + lr, gc0 + lc) {
                 let dist = lr.abs_diff(r) + lc.abs_diff(c);
                 let key = (dist, lr, lc, q);
-                if best.map_or(true, |b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
+                if best.is_none_or(|b| (key.0, key.1, key.2) < (b.0, b.1, b.2)) {
                     best = Some(key);
                 }
             }
@@ -413,7 +412,11 @@ fn cross_anchor(
 ) -> (PhysQubit, PhysQubit) {
     let d = topo.spec().chiplet_size();
     let (ci, cj) = topo.chiplet_pos(chip);
-    let target = if horizontal { ci * d + off } else { cj * d + off };
+    let target = if horizontal {
+        ci * d + off
+    } else {
+        cj * d + off
+    };
     let mut best: Option<(u32, PhysQubit, PhysQubit)> = None;
     for q in topo.qubits() {
         if topo.chiplet(q) != chip {
@@ -424,7 +427,7 @@ fn cross_anchor(
                 let (gr, gc) = topo.coord(q);
                 let pos = if horizontal { gr } else { gc };
                 let key = (pos.abs_diff(target), link.to, q);
-                if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+                if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
                     best = Some(key);
                 }
             }

@@ -32,10 +32,10 @@ mod structures;
 mod topology;
 
 pub use cost::CostModel;
-pub use render::render_layout;
 pub use highway::{HighwayEdge, HighwayEdgeKind, HighwayLayout};
 pub use ids::{ChipletId, LinkKind, PhysQubit};
 pub use pathfind::{bfs_distances, shortest_path, shortest_path_avoiding};
 pub use phys::{OpCounts, PhysCircuit, PhysOp, PhysOpKind};
+pub use render::render_layout;
 pub use spec::{ChipletSpec, CouplingStructure};
 pub use topology::{Link, Topology};

@@ -87,7 +87,10 @@ impl ChipletSpec {
         array_cols: u32,
     ) -> Self {
         assert!(chiplet_size >= 3, "chiplet size must be at least 3");
-        assert!(array_rows >= 1 && array_cols >= 1, "array must be non-empty");
+        assert!(
+            array_rows >= 1 && array_cols >= 1,
+            "array must be non-empty"
+        );
         ChipletSpec {
             structure,
             chiplet_size,
@@ -166,9 +169,7 @@ impl ChipletSpec {
 /// highway between chiplets.
 pub(crate) fn evenly_spaced(n: u32, keep: u32) -> Vec<u32> {
     let keep = keep.min(n);
-    (0..keep)
-        .map(|i| ((2 * i + 1) * n) / (2 * keep))
-        .collect()
+    (0..keep).map(|i| ((2 * i + 1) * n) / (2 * keep)).collect()
 }
 
 #[cfg(test)]

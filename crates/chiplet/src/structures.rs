@@ -15,12 +15,12 @@ pub(crate) fn has_qubit(structure: CouplingStructure, r: u32, c: u32, _d: u32) -
         CouplingStructure::Square | CouplingStructure::Hexagon => true,
         CouplingStructure::HeavySquare => !(r % 2 == 1 && c % 2 == 1),
         CouplingStructure::HeavyHexagon => {
-            if r % 2 == 0 {
+            if r.is_multiple_of(2) {
                 true
             } else {
                 // Sparse connector qubits: every 4th column, offset
                 // alternating between odd rows (IBM heavy-hex pattern).
-                (r % 4 == 1 && c % 4 == 0) || (r % 4 == 3 && c % 4 == 2)
+                (r % 4 == 1 && c.is_multiple_of(4)) || (r % 4 == 3 && c % 4 == 2)
             }
         }
     }
@@ -47,7 +47,7 @@ pub(crate) fn cells_coupled(
                 // Vertical couplers only on alternating columns (brick wall):
                 // between rows (r, r+1) the rung sits at columns where
                 // (min(r, r2) + c) is even.
-                (r.min(r2) + c) % 2 == 0
+                (r.min(r2) + c).is_multiple_of(2)
             }
         }
     }

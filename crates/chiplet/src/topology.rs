@@ -108,8 +108,7 @@ impl Topology {
 
         // Cross-chip links: facing boundary qubits, sparsified per edge.
         let keep = spec.cross_links_per_edge();
-        let mut add_cross = |pairs: Vec<(PhysQubit, PhysQubit)>,
-                             adj: &mut Vec<Vec<Link>>| {
+        let mut add_cross = |pairs: Vec<(PhysQubit, PhysQubit)>, adj: &mut Vec<Vec<Link>>| {
             let kept_idx = match keep {
                 Some(k) => evenly_spaced(pairs.len() as u32, k),
                 None => (0..pairs.len() as u32).collect(),
@@ -281,10 +280,7 @@ impl Topology {
     pub fn link_counts(&self) -> (usize, usize) {
         let mut on = 0;
         for links in &self.adj {
-            on += links
-                .iter()
-                .filter(|l| l.kind == LinkKind::OnChip)
-                .count();
+            on += links.iter().filter(|l| l.kind == LinkKind::OnChip).count();
         }
         (on / 2, self.num_cross_links)
     }

@@ -153,7 +153,11 @@ pub fn aggregate_controlled(
     let mut order: Vec<(Qubit, GroupKind)> = buckets.keys().copied().collect();
     order.sort_by_key(|key| {
         let len = buckets[key].len();
-        (std::cmp::Reverse(len), key.0, matches!(key.1, GroupKind::Conjugated))
+        (
+            std::cmp::Reverse(len),
+            key.0,
+            matches!(key.1, GroupKind::Conjugated),
+        )
     });
 
     for key in order {

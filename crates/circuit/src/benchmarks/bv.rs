@@ -19,11 +19,7 @@ use crate::qubit::Qubit;
 /// Panics if `secret.len() != n as usize - 1` or `n < 2`.
 pub fn bv_with_secret(n: u32, secret: &[bool]) -> Circuit {
     assert!(n >= 2, "BV needs at least one data qubit plus the ancilla");
-    assert_eq!(
-        secret.len(),
-        n as usize - 1,
-        "secret length must be n - 1"
-    );
+    assert_eq!(secret.len(), n as usize - 1, "secret length must be n - 1");
     let anc = Qubit(n - 1);
     let mut c = Circuit::new(n);
     for q in 0..n - 1 {

@@ -29,11 +29,10 @@ pub enum PauliRole {
 impl PauliRole {
     /// Whether two single-qubit actions in these frames commute.
     pub fn commutes_with(self, other: PauliRole) -> bool {
-        match (self, other) {
-            (PauliRole::Z, PauliRole::Z) => true,
-            (PauliRole::X, PauliRole::X) => true,
-            _ => false,
-        }
+        matches!(
+            (self, other),
+            (PauliRole::Z, PauliRole::Z) | (PauliRole::X, PauliRole::X)
+        )
     }
 }
 

@@ -159,11 +159,7 @@ pub struct DagSchedule<'a> {
 
 impl<'a> DagSchedule<'a> {
     fn new(dag: &'a CommutationDag) -> Self {
-        let done = dag
-            .blocks
-            .iter()
-            .map(|bs| vec![0u32; bs.len()])
-            .collect();
+        let done = dag.blocks.iter().map(|bs| vec![0u32; bs.len()]).collect();
         let mut s = DagSchedule {
             dag,
             done,

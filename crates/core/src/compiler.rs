@@ -325,7 +325,12 @@ impl<'a> MechCompiler<'a> {
         // Hub entrance: earliest execution time among claimable candidates.
         let hub_pos = s.mapping.phys(group.hub);
         let hub_opts = s
-            .entrances_at(self.topo, self.layout, hub_pos, self.config.entrance_candidates)
+            .entrances_at(
+                self.topo,
+                self.layout,
+                hub_pos,
+                self.config.entrance_candidates,
+            )
             .to_vec();
         let hub_choice = hub_opts
             .iter()
@@ -333,15 +338,17 @@ impl<'a> MechCompiler<'a> {
             .filter(|o| !pinned.contains(&o.access) && !pinned.contains(&o.entrance))
             .min_by_key(|o| {
                 let t_arr = s.pc.time(hub_pos) + u64::from(3 * o.distance);
-                let t_ava = s.pc.time(o.entrance);
+                // Any chosen entrance is floored to the shuttle horizon
+                // before GHZ prep, so rank by the effective availability,
+                // not the stale pre-horizon clock.
+                let t_ava = s.pc.time(o.entrance).max(s.shuttle.horizon());
                 (t_arr.max(t_ava), o.distance)
             })
             .copied();
         let Some(hub_choice) = hub_choice else {
             return Vec::new();
         };
-        if s
-            .shuttle
+        if s.shuttle
             .occupancy
             .claim_route(self.layout, hub_choice.entrance, hub_choice.entrance, gid)
             .is_err()
@@ -380,12 +387,12 @@ impl<'a> MechCompiler<'a> {
                 .collect();
             ranked.sort_by_key(|o| {
                 let t_arr = s.pc.time(pos) + u64::from(3 * o.distance);
-                let t_ava = s.pc.time(o.entrance);
+                // Same horizon flooring as the hub ranking above.
+                let t_ava = s.pc.time(o.entrance).max(s.shuttle.horizon());
                 (t_arr.max(t_ava), o.distance)
             });
             for o in ranked {
-                if s
-                    .shuttle
+                if s.shuttle
                     .occupancy
                     .claim_route(self.layout, hub_choice.entrance, o.entrance, gid)
                     .is_ok()
@@ -403,8 +410,7 @@ impl<'a> MechCompiler<'a> {
         }
 
         // Route the hub to its access position before entangling.
-        if s
-            .router
+        if s.router
             .route_to(
                 &mut s.pc,
                 &mut s.mapping,
@@ -421,10 +427,22 @@ impl<'a> MechCompiler<'a> {
         // GHZ preparation over the claimed tree.
         let nodes = s.shuttle.occupancy.nodes_of(gid).to_vec();
         let edges = s.shuttle.occupancy.edges_of(gid).to_vec();
+        // A shuttle is a global highway time window (paper §6.2): nothing
+        // belonging to this shuttle may start before the previous shuttle
+        // closed, even on highway qubits the previous shuttles never
+        // touched.
+        for &q in &nodes {
+            s.pc.advance(q, s.shuttle.horizon());
+        }
         let prep = match self.config.ghz_style {
-            crate::GhzStyle::MeasurementBased => {
-                prepare_ghz(&mut s.pc, self.topo, self.layout, &nodes, &edges, &entrances)
-            }
+            crate::GhzStyle::MeasurementBased => prepare_ghz(
+                &mut s.pc,
+                self.topo,
+                self.layout,
+                &nodes,
+                &edges,
+                &entrances,
+            ),
             crate::GhzStyle::Chain => {
                 prepare_ghz_chain(&mut s.pc, self.topo, self.layout, &nodes, &edges)
             }
@@ -454,8 +472,7 @@ impl<'a> MechCompiler<'a> {
         let pinned = self.pinned(s);
         let mut executed = Vec::new();
         for (gate, other, opt) in chosen {
-            if s
-                .router
+            if s.router
                 .route_to(&mut s.pc, &mut s.mapping, other, opt.access, &pinned)
                 .is_err()
             {
@@ -517,7 +534,7 @@ mod tests {
         let program = qft(n);
         let r = c.compile(&program).unwrap();
         // All measurements present.
-        assert_eq!(r.circuit.counts().measurements >= u64::from(n), true);
+        assert!(r.circuit.counts().measurements >= u64::from(n));
         assert!(r.shuttle_stats.highway_gates > 0);
         assert!(r.circuit.depth() > 0);
     }

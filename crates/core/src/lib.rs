@@ -66,5 +66,7 @@ pub use mech_highway;
 pub use mech_router;
 
 // The most common types, re-exported flat for convenience.
-pub use mech_chiplet::{ChipletSpec, CostModel, CouplingStructure, HighwayLayout, PhysCircuit, Topology};
+pub use mech_chiplet::{
+    ChipletSpec, CostModel, CouplingStructure, HighwayLayout, PhysCircuit, Topology,
+};
 pub use mech_circuit::{benchmarks, Circuit, Qubit};

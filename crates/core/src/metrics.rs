@@ -49,7 +49,11 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "depth={} on={} cross={} meas={} eff_cnots={:.1}",
-            self.depth, self.on_chip_cnots, self.cross_chip_cnots, self.measurements, self.eff_cnots
+            self.depth,
+            self.on_chip_cnots,
+            self.cross_chip_cnots,
+            self.measurements,
+            self.eff_cnots
         )
     }
 }

@@ -51,7 +51,10 @@ pub fn prepare_ghz_chain(
     nodes: &[PhysQubit],
     edges: &[(PhysQubit, PhysQubit)],
 ) -> GhzPrep {
-    assert!(!nodes.is_empty(), "GHZ preparation needs at least one qubit");
+    assert!(
+        !nodes.is_empty(),
+        "GHZ preparation needs at least one qubit"
+    );
     let root = nodes[0];
     pc.one_qubit(root); // H on the root; the rest stay |0⟩.
 
@@ -85,7 +88,11 @@ pub fn prepare_ghz_chain(
             queue.push_back(*nb);
         }
     }
-    assert_eq!(seen.len(), nodes.len(), "claimed edges must connect all nodes");
+    assert_eq!(
+        seen.len(),
+        nodes.len(),
+        "claimed edges must connect all nodes"
+    );
 
     let ready_at = nodes.iter().map(|&q| pc.time(q)).max().unwrap_or(0);
     GhzPrep {
@@ -115,7 +122,10 @@ pub fn prepare_ghz(
     edges: &[(PhysQubit, PhysQubit)],
     entrances: &HashSet<PhysQubit>,
 ) -> GhzPrep {
-    assert!(!nodes.is_empty(), "GHZ preparation needs at least one qubit");
+    assert!(
+        !nodes.is_empty(),
+        "GHZ preparation needs at least one qubit"
+    );
 
     // |+> initialization.
     for &q in nodes {

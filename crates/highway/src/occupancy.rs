@@ -93,7 +93,7 @@ impl HighwayOccupancy {
 
     /// `true` if `q` is unowned or owned by `g`.
     pub fn available_for(&self, q: PhysQubit, g: GroupId) -> bool {
-        self.owner[q.index()].map_or(true, |o| o == g)
+        self.owner[q.index()].is_none_or(|o| o == g)
     }
 
     /// The qubits claimed by `g`, in claim order.

@@ -63,6 +63,7 @@ pub struct ShuttleState {
     stats: ShuttleStats,
     trace: Vec<ShuttleRecord>,
     components_at_open: u64,
+    horizon: u64,
 }
 
 impl ShuttleState {
@@ -76,7 +77,17 @@ impl ShuttleState {
             stats: ShuttleStats::default(),
             trace: Vec::new(),
             components_at_open: 0,
+            horizon: 0,
         }
+    }
+
+    /// The close time of the most recent shuttle. Shuttles are *global*
+    /// highway time windows (paper §6.2): no operation of the next shuttle
+    /// may be scheduled before this time. Callers opening a new shuttle
+    /// must floor the clocks of the claimed highway qubits to this value
+    /// before preparing GHZ states on them.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
     }
 
     /// The closed-shuttle timeline accumulated so far.
@@ -206,6 +217,11 @@ impl ShuttleState {
         }
         self.groups.clear();
         self.occupancy.release_all();
+        // Shuttle periods are totally ordered on the global highway
+        // timeline, even when a caller forgot to floor this shuttle's
+        // operations to the previous close.
+        let hub_ready = hub_ready.max(self.horizon);
+        self.horizon = hub_ready;
         self.trace.push(ShuttleRecord {
             index: self.stats.shuttles,
             closed_at: hub_ready,

@@ -8,8 +8,8 @@
 //! * [`LocalRouter`] — SWAP-chain routing of data qubits across the data
 //!   region (never through the highway), used both to bring qubits to
 //!   highway access positions and to execute off-highway gates;
-//! * [`sabre_route`] — a from-scratch SABRE-style swap router (front layer
-//!   + extended-set lookahead + decay), standing in for Qiskit's
+//! * [`sabre_route`] — a from-scratch SABRE-style swap router (front
+//!   layer, extended-set lookahead, decay), standing in for Qiskit's
 //!   optimization-level-3 transpiler as the paper's baseline.
 
 mod local;

@@ -41,7 +41,6 @@ impl fmt::Display for RoutingError {
 
 impl std::error::Error for RoutingError {}
 
-
 /// SWAP-based router over the data region.
 ///
 /// # Example
@@ -258,13 +257,9 @@ impl<'a> LocalRouter<'a> {
                     let dest = if near != pa {
                         Some(near)
                     } else {
-                        self.topo
-                            .neighbors(pa)
-                            .iter()
-                            .map(|l| l.to)
-                            .find(|&q| {
-                                q != pb && !self.layout.is_highway(q) && !pinned.contains(&q)
-                            })
+                        self.topo.neighbors(pa).iter().map(|l| l.to).find(|&q| {
+                            q != pb && !self.layout.is_highway(q) && !pinned.contains(&q)
+                        })
                     };
                     match dest {
                         Some(dest) => self.route_to(pc, mapping, b, dest, pinned)?,
@@ -302,7 +297,7 @@ mod tests {
             .unwrap();
         assert_eq!(m.phys(Qubit(0)), dest);
         assert!(m.is_consistent());
-        assert!(pc.counts().on_chip_cnots % 3 == 0); // swaps only
+        assert!(pc.counts().on_chip_cnots.is_multiple_of(3)); // swaps only
     }
 
     #[test]
@@ -314,8 +309,14 @@ mod tests {
         let r = LocalRouter::new(&topo, &hw);
         // Route across the device; even if the path crosses the highway,
         // no highway position may hold a logical qubit afterwards.
-        r.route_to(&mut pc, &mut m, Qubit(0), *data.last().unwrap(), &HashSet::new())
-            .unwrap();
+        r.route_to(
+            &mut pc,
+            &mut m,
+            Qubit(0),
+            *data.last().unwrap(),
+            &HashSet::new(),
+        )
+        .unwrap();
         for q in hw.nodes() {
             assert_eq!(m.logical(*q), None, "logical qubit stranded on {q}");
         }

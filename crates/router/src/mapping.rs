@@ -43,10 +43,7 @@ impl Mapping {
         let mut phys_to_log = vec![None; max_phys as usize + 1];
         let mut log_to_phys = Vec::with_capacity(num_logical as usize);
         for (i, &p) in slots.iter().take(num_logical as usize).enumerate() {
-            assert!(
-                phys_to_log[p.index()].is_none(),
-                "slot {p} assigned twice"
-            );
+            assert!(phys_to_log[p.index()].is_none(), "slot {p} assigned twice");
             phys_to_log[p.index()] = Some(Qubit(i as u32));
             log_to_phys.push(p);
         }

@@ -232,7 +232,7 @@ pub fn sabre_route(
             };
             let d = decay[swap.0.index()].max(decay[swap.1.index()]);
             let score = d * (f_score + config.extended_weight * e_score);
-            if best.map_or(true, |(_, s)| score < s) {
+            if best.is_none_or(|(_, s)| score < s) {
                 best = Some((swap, score));
             }
         }
@@ -251,7 +251,9 @@ pub fn sabre_route(
         // Cheap incremental execution: only gates touching the swapped
         // positions can have become executable.
         for p in [sa, sb] {
-            let Some(lq) = mapping.logical(p) else { continue };
+            let Some(lq) = mapping.logical(p) else {
+                continue;
+            };
             let ids: Vec<GateId> = qubit_gates[lq.index()].clone();
             for id in ids {
                 if sched.is_completed(id) || !sched.is_gate_ready(id) {
@@ -279,13 +281,7 @@ pub fn sabre_route(
 }
 
 /// Moves `a` adjacent to `b` along a shortest path unconditionally.
-fn force_route(
-    pc: &mut PhysCircuit,
-    topo: &Topology,
-    mapping: &mut Mapping,
-    a: Qubit,
-    b: Qubit,
-) {
+fn force_route(pc: &mut PhysCircuit, topo: &Topology, mapping: &mut Mapping, a: Qubit, b: Qubit) {
     let target = mapping.phys(b);
     loop {
         let cur = mapping.phys(a);
@@ -352,12 +348,7 @@ mod tests {
     #[test]
     fn qft_routes_and_grows_with_size() {
         let topo = device();
-        let small = sabre_route(
-            &qft(8),
-            &topo,
-            CostModel::default(),
-            SabreConfig::default(),
-        );
+        let small = sabre_route(&qft(8), &topo, CostModel::default(), SabreConfig::default());
         let large = sabre_route(
             &qft(16),
             &topo,

@@ -32,12 +32,7 @@ pub fn ghz_chain(state: &mut State, members: &[u32]) {
 /// # Panics
 ///
 /// Panics unless `aux.len() + 1 == members.len()`.
-pub fn ghz_measurement_based<R: Rng>(
-    state: &mut State,
-    members: &[u32],
-    aux: &[u32],
-    rng: &mut R,
-) {
+pub fn ghz_measurement_based<R: Rng>(state: &mut State, members: &[u32], aux: &[u32], rng: &mut R) {
     assert_eq!(
         aux.len() + 1,
         members.len(),
@@ -87,7 +82,7 @@ pub fn multi_target_protocol<R, F>(
     F: FnMut(&mut State, u32, u32),
 {
     assert!(
-        ghz.len() >= targets.len() + 1,
+        ghz.len() > targets.len(),
         "need one GHZ qubit per target plus the attach qubit"
     );
 
@@ -218,9 +213,7 @@ mod tests {
 
             let mut via = input.clone();
             ghz_chain(&mut via, &[1, 2]);
-            multi_target_protocol(&mut via, 0, &[1, 2], &[3], &mut rng, |s, m, t| {
-                s.cz(m, t)
-            });
+            multi_target_protocol(&mut via, 0, &[1, 2], &[3], &mut rng, |s, m, t| s.cz(m, t));
 
             let mut direct = input;
             direct.cz(0, 3);

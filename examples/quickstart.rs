@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n              {:>12} {:>12}", "baseline", "MECH");
     println!("depth         {:>12} {:>12}", b.depth, m.depth);
-    println!(
-        "eff_CNOTs     {:>12.0} {:>12.0}",
-        b.eff_cnots, m.eff_cnots
-    );
+    println!("eff_CNOTs     {:>12.0} {:>12.0}", b.eff_cnots, m.eff_cnots);
     println!(
         "\ndepth improvement:     {:>6.1}%",
         100.0 * m.depth_improvement_over(&b)

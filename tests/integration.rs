@@ -181,7 +181,9 @@ fn deeper_highway_density_reduces_depth_ratio() {
         let m = MechCompiler::new(&topo, &layout, config)
             .compile(&program)
             .unwrap();
-        let b = BaselineCompiler::new(&topo, config).compile(&program).unwrap();
+        let b = BaselineCompiler::new(&topo, config)
+            .compile(&program)
+            .unwrap();
         ratios.push(m.metrics().depth as f64 / b.depth() as f64);
     }
     assert!(

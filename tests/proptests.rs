@@ -5,7 +5,9 @@
 use proptest::prelude::*;
 
 use mech::{BaselineCompiler, CompilerConfig, MechCompiler};
-use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayLayout, LinkKind, PhysOpKind, PhysQubit};
+use mech_chiplet::{
+    ChipletSpec, CouplingStructure, HighwayLayout, LinkKind, PhysOpKind, PhysQubit,
+};
 use mech_circuit::benchmarks::random_circuit;
 use mech_circuit::{
     aggregate_controlled, commutes, AggregateOptions, Circuit, CommutationDag, GateId,

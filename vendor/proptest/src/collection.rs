@@ -1,0 +1,30 @@
+//! Strategies for collections (subset of `proptest::collection`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A `Vec` whose length is drawn from `len` and whose elements come from
+/// `elem`.
+pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+pub struct VecStrategy<S> {
+    elem: S,
+    len: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.len.is_empty() {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.start..self.len.end)
+        };
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}

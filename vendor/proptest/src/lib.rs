@@ -1,0 +1,123 @@
+//! Offline drop-in replacement for the subset of `proptest` this workspace
+//! uses: the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`/`prop_filter_map`, [`Just`](strategy::Just), [`prop_oneof!`],
+//! `prop::option::of`, `prop::collection::vec`, the `prop_assert*` macros,
+//! and [`ProptestConfig`].
+//!
+//! The build environment has no registry access, so this crate stands in for
+//! crates.io `proptest` via a path dependency. Semantics are simplified but
+//! honest property testing: each `#[test]` runs `config.cases` cases with
+//! values drawn from the given strategies, deterministically seeded from the
+//! test's module path and case index. There is no shrinking — a failing case
+//! panics with the ordinary assertion message (deterministic seeding makes
+//! failures reproducible, which is what shrinking mostly buys).
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+
+pub mod prelude;
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a over a string — stable per-test seed base so every property is
+/// reproducible run-to-run without global state.
+#[doc(hidden)]
+pub const fn seed_for(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...)` body runs
+/// for `cases` deterministic random draws of its arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($p:pat in $s:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..u64::from(__config.cases) {
+                    let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                        __base ^ __case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $( let $p = $crate::strategy::Strategy::generate(&($s), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// A strategy choosing uniformly between the listed sub-strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>> =
+            ::std::vec::Vec::new();
+        $( __options.push(::std::boxed::Box::new($s)); )+
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+/// Assertion macros. Unlike upstream proptest these panic directly instead
+/// of returning `Err(TestCaseError)` — equivalent observable behavior here
+/// because there is no shrinking phase to resume.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[doc(hidden)]
+pub use rand as __rand;

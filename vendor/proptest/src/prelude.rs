@@ -1,0 +1,9 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+/// Upstream proptest's prelude re-exports the crate root as `prop`, enabling
+/// paths like `prop::collection::vec`; mirror that.
+pub use crate as prop;

@@ -1,0 +1,146 @@
+//! Value-generation strategies (subset of `proptest::strategy`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// How many draws `prop_filter_map` attempts before giving up on a case.
+const FILTER_MAP_RETRIES: usize = 10_000;
+
+/// A recipe for producing random values of one type.
+///
+/// Unlike upstream proptest there is no value tree or shrinking: a strategy
+/// simply draws a fresh value from the given RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values `f` maps to `Some`, re-drawing otherwise.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// Uniform draw from a half-open range.
+impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        for _ in 0..FILTER_MAP_RETRIES {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map exhausted {FILTER_MAP_RETRIES} draws: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between boxed sub-strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident : $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: a, B: b);
+impl_tuple_strategy!(A: a, B: b, C: c);
+impl_tuple_strategy!(A: a, B: b, C: c, D: d);
+impl_tuple_strategy!(A: a, B: b, C: c, D: d, E: e);
+impl_tuple_strategy!(A: a, B: b, C: c, D: d, E: e, F: f);
