@@ -1,0 +1,242 @@
+//! Compiler throughput tracker: times MECH and SABRE-baseline compilation
+//! wall-clock across six benchmark families and appends a machine-readable
+//! run record to `BENCH_compile.json`, so the repository accumulates a perf
+//! trajectory across PRs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p mech-bench --bin perf_report -- \
+//!     [--quick] [--label <name>] [--out <path>] [--iters <k>]
+//! ```
+//!
+//! `--quick` shrinks the device for a CI smoke run; `--label` names the run
+//! record (e.g. `pre-refactor`); `--iters` controls how many timed
+//! repetitions each cell gets (the minimum is reported). Every record holds
+//! one entry per (family, compiler) with the schema
+//! `{family, compiler, qubits, gates, ms, gates_per_sec}`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mech::{BaselineCompiler, CompilerConfig, MechCompiler};
+use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech_circuit::benchmarks::{random_circuit, Benchmark};
+use mech_circuit::Circuit;
+
+type FamilyGen = fn(u32) -> Circuit;
+
+/// The six timed program families: the paper's four plus two random-circuit
+/// densities (sparse ≈ routing-bound, dense ≈ aggregation-bound).
+const FAMILIES: [(&str, FamilyGen); 6] = [
+    ("qft", |n| Benchmark::Qft.generate(n, 2024)),
+    ("qaoa", |n| Benchmark::Qaoa.generate(n, 2024)),
+    ("vqe", |n| Benchmark::Vqe.generate(n, 2024)),
+    ("bv", |n| Benchmark::Bv.generate(n, 2024)),
+    ("rand-sparse", |n| random_circuit(n, 4 * n as usize, 11)),
+    ("rand-dense", |n| random_circuit(n, 12 * n as usize, 12)),
+];
+
+struct Args {
+    quick: bool,
+    label: String,
+    out: String,
+    iters: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        label: "run".to_string(),
+        out: "BENCH_compile.json".to_string(),
+        iters: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--label" => args.label = it.next().expect("--label needs a value"),
+            "--out" => args.out = it.next().expect("--out needs a value"),
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .expect("--iters needs a value")
+                    .parse()
+                    .expect("--iters takes a number")
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; supported: --quick --label <s> --out <path> --iters <k>"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Cell {
+    family: &'static str,
+    compiler: &'static str,
+    qubits: u32,
+    gates: usize,
+    ms: f64,
+}
+
+impl Cell {
+    fn gates_per_sec(&self) -> f64 {
+        if self.ms <= 0.0 {
+            0.0
+        } else {
+            self.gates as f64 / (self.ms / 1000.0)
+        }
+    }
+}
+
+/// Minimum wall-clock over `iters` timed runs of `f`, in milliseconds.
+fn time_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = if args.quick {
+        ChipletSpec::square(5, 2, 2)
+    } else {
+        ChipletSpec::square(7, 3, 3)
+    };
+    let topo = spec.build();
+    let layout = HighwayLayout::generate(&topo, 1);
+    let config = CompilerConfig::default();
+    let n = layout.num_data_qubits();
+
+    println!(
+        "perf_report: {} device qubits, {} data qubits, label={:?}, iters={}",
+        topo.num_qubits(),
+        n,
+        args.label,
+        args.iters
+    );
+    println!(
+        "{:<12} {:>7} {:>8} {:>12} {:>14} {:>12} {:>14}",
+        "family", "qubits", "gates", "mech ms", "mech gates/s", "sabre ms", "sabre gates/s"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (family, gen) in FAMILIES {
+        let program = gen(n);
+        let gates = program.len();
+
+        let mech = MechCompiler::new(&topo, &layout, config);
+        let mech_ms = time_ms(args.iters, || {
+            mech.compile(&program).expect("MECH compiles");
+        });
+        let base = BaselineCompiler::new(&topo, config);
+        let sabre_ms = time_ms(args.iters, || {
+            base.compile(&program).expect("baseline compiles");
+        });
+
+        let mech_cell = Cell {
+            family,
+            compiler: "mech",
+            qubits: n,
+            gates,
+            ms: mech_ms,
+        };
+        let sabre_cell = Cell {
+            family,
+            compiler: "sabre",
+            qubits: n,
+            gates,
+            ms: sabre_ms,
+        };
+        println!(
+            "{:<12} {:>7} {:>8} {:>12.1} {:>14.0} {:>12.1} {:>14.0}",
+            family,
+            n,
+            gates,
+            mech_cell.ms,
+            mech_cell.gates_per_sec(),
+            sabre_cell.ms,
+            sabre_cell.gates_per_sec()
+        );
+        cells.push(mech_cell);
+        cells.push(sabre_cell);
+    }
+
+    let record = render_record(&args, &cells);
+    append_record(&args.out, &record);
+    println!("recorded run {:?} in {}", args.label, args.out);
+}
+
+/// Renders one run record as a JSON object (hand-rolled: the workspace has
+/// no registry access, so no serde).
+fn render_record(args: &Args, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "  {{\"label\": \"{}\", \"mode\": \"{}\", \"iters\": {}, \"results\": [",
+        json_escape(&args.label),
+        if args.quick { "quick" } else { "full" },
+        args.iters
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            s,
+            "{sep}\n    {{\"family\": \"{}\", \"compiler\": \"{}\", \"qubits\": {}, \"gates\": {}, \"ms\": {:.2}, \"gates_per_sec\": {:.0}}}",
+            c.family,
+            c.compiler,
+            c.qubits,
+            c.gates,
+            c.ms,
+            c.gates_per_sec()
+        );
+    }
+    s.push_str("\n  ]}");
+    s
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends a record to the JSON array in `path`, creating the file if
+/// missing. The file is always a single top-level array of run records.
+fn append_record(path: &str, record: &str) {
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let without_close = trimmed
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
+                .trim_end();
+            let without_close = without_close.strip_suffix(',').unwrap_or(without_close);
+            if without_close.trim_end().ends_with('[') {
+                format!("{without_close}\n{record}\n]\n")
+            } else {
+                format!("{without_close},\n{record}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(path, body).expect("write BENCH_compile.json");
+}

@@ -1,0 +1,176 @@
+//! Reusable pathfinding workspace shared by the routers.
+//!
+//! The compiler's hot path runs a weighted shortest-path search per routed
+//! two-qubit gate and per highway claim. Allocating device-sized cost
+//! arrays for each search dominates small-search cost, so
+//! [`RoutingScratch`] keeps the arrays alive across searches and
+//! invalidates them in O(1) with a generation counter: a slot's stored
+//! cost is valid only when its stamp equals the current generation.
+//!
+//! Costs are lexicographic `(primary, secondary)` pairs so one workspace
+//! serves both the local router (swap cost, untied) and the highway
+//! occupancy router (newly claimed qubits, tie-broken by hops).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::ids::PhysQubit;
+
+/// A read-only membership predicate over physical qubits.
+///
+/// Routing must avoid *pinned* positions. Callers track pinned state in
+/// different shapes (hash sets in tests, incremental masks plus occupancy
+/// tables in the compiler), so the routers accept any implementor instead
+/// of forcing an owned `HashSet` to be materialized per call.
+pub trait QubitSet {
+    /// `true` if `q` is in the set.
+    fn contains_qubit(&self, q: PhysQubit) -> bool;
+}
+
+impl QubitSet for HashSet<PhysQubit> {
+    fn contains_qubit(&self, q: PhysQubit) -> bool {
+        self.contains(&q)
+    }
+}
+
+/// Lexicographic search cost: `(primary, secondary)`.
+pub type SearchCost = (u32, u32);
+
+/// Cost value marking an unreached node.
+pub const UNREACHED: SearchCost = (u32::MAX, u32::MAX);
+
+/// Generation-stamped cost arrays plus a reusable priority queue.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{PhysQubit, RoutingScratch, UNREACHED};
+/// let mut scratch = RoutingScratch::default();
+/// scratch.begin(4);
+/// assert_eq!(scratch.cost(PhysQubit(2)), UNREACHED);
+/// scratch.set_cost(PhysQubit(2), (5, 0));
+/// assert_eq!(scratch.cost(PhysQubit(2)), (5, 0));
+/// scratch.begin(4); // O(1) invalidation
+/// assert_eq!(scratch.cost(PhysQubit(2)), UNREACHED);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RoutingScratch {
+    generation: u32,
+    stamp: Vec<u32>,
+    cost: Vec<SearchCost>,
+    /// Min-heap of `(cost, node)` entries (via `Reverse`).
+    pub heap: BinaryHeap<Reverse<(SearchCost, PhysQubit)>>,
+    /// Reusable path buffer for searches that return node sequences.
+    pub path: Vec<PhysQubit>,
+}
+
+impl RoutingScratch {
+    /// Starts a fresh search over `n` nodes: clears the queue and
+    /// invalidates all stored costs without touching the arrays.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.cost.resize(n, UNREACHED);
+        }
+        self.heap.clear();
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: stamps from 2^32 searches ago could alias. Reset.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// The cost recorded for `q` in the current search ([`UNREACHED`] if
+    /// never set since [`RoutingScratch::begin`]).
+    pub fn cost(&self, q: PhysQubit) -> SearchCost {
+        if self.stamp[q.index()] == self.generation {
+            self.cost[q.index()]
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Records `cost` for `q` in the current search.
+    pub fn set_cost(&mut self, q: PhysQubit, cost: SearchCost) {
+        self.stamp[q.index()] = self.generation;
+        self.cost[q.index()] = cost;
+    }
+
+    /// Reconstructs the shortest path from `from` to `to` into `self.path`
+    /// from the settled costs of the current search, walking backwards: at
+    /// each node the predecessor is the *minimum-id* neighbor whose settled
+    /// cost accounts for the step onto the node (`step(node)` is the
+    /// node-weight paid when entering it).
+    ///
+    /// This is exactly the prev tree a forward Dijkstra with
+    /// `(cost, qubit)` pop order and strict-improvement prev tracking
+    /// records: all optimal predecessors of a node share one settled cost
+    /// (node weights), and the first of them to relax it is the one with
+    /// the smallest id. Both routers rely on this equivalence to keep
+    /// compiled schedules bit-identical across search-strategy changes —
+    /// keep the reasoning here, in one place.
+    ///
+    /// Requires every node on the optimal path to carry its final cost
+    /// (the searches guarantee this before calling).
+    pub fn reconstruct_path<I: Iterator<Item = PhysQubit>>(
+        &mut self,
+        from: PhysQubit,
+        to: PhysQubit,
+        step: impl Fn(PhysQubit) -> SearchCost,
+        neighbors: impl Fn(PhysQubit) -> I,
+    ) {
+        self.path.clear();
+        self.path.push(to);
+        let mut cur = to;
+        let mut g_cur = self.cost(to);
+        while cur != from {
+            let w = step(cur);
+            let target = (g_cur.0 - w.0, g_cur.1 - w.1);
+            let mut parent: Option<PhysQubit> = None;
+            for u in neighbors(cur) {
+                if self.cost(u) == target && parent.is_none_or(|p| u < p) {
+                    parent = Some(u);
+                }
+            }
+            let u = parent.expect("settled node has a shortest-path predecessor");
+            self.path.push(u);
+            cur = u;
+            g_cur = target;
+        }
+        self.path.reverse();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_invalidates_previous_search() {
+        let mut s = RoutingScratch::default();
+        s.begin(8);
+        s.set_cost(PhysQubit(3), (1, 2));
+        s.heap.push(Reverse(((1, 2), PhysQubit(3))));
+        s.begin(8);
+        assert_eq!(s.cost(PhysQubit(3)), UNREACHED);
+        assert!(s.heap.is_empty());
+    }
+
+    #[test]
+    fn grows_to_larger_devices() {
+        let mut s = RoutingScratch::default();
+        s.begin(2);
+        s.begin(10);
+        s.set_cost(PhysQubit(9), (0, 0));
+        assert_eq!(s.cost(PhysQubit(9)), (0, 0));
+    }
+
+    #[test]
+    fn hashset_implements_qubit_set() {
+        let set: HashSet<PhysQubit> = [PhysQubit(1)].into_iter().collect();
+        assert!(set.contains_qubit(PhysQubit(1)));
+        assert!(!set.contains_qubit(PhysQubit(2)));
+    }
+}

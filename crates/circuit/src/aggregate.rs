@@ -14,8 +14,6 @@
 //! Groups are formed greedily, largest first, mirroring the paper's ranking
 //! of aggregated gates by component count.
 
-use std::collections::HashMap;
-
 use crate::circuit::Circuit;
 use crate::dag::GateId;
 use crate::gate::{Gate, TwoQubitKind};
@@ -114,9 +112,15 @@ pub fn aggregate_controlled(
     options: AggregateOptions,
 ) -> (Vec<MultiTargetGate>, Vec<GateId>) {
     let min = options.min_components.max(2);
+    let nq = circuit.num_qubits() as usize;
 
-    // Candidate hub memberships for every aggregable ready gate.
-    let mut buckets: HashMap<(Qubit, GroupKind), Vec<GateId>> = HashMap::new();
+    // Candidate hub memberships for every aggregable ready gate, bucketed
+    // by (hub qubit, kind) in flat per-qubit arrays. This function runs
+    // once per compiler round over fronts that can span the whole program
+    // (QAOA readies tens of thousands of commuting gates), so the inner
+    // structures are arrays indexed by qubit/gate id, not hash maps.
+    let mut plain: Vec<Vec<GateId>> = vec![Vec::new(); nq];
+    let mut conjugated: Vec<Vec<GateId>> = vec![Vec::new(); nq];
     let mut leftovers = Vec::new();
     let mut aggregable: Vec<GateId> = Vec::new();
 
@@ -126,15 +130,12 @@ pub fn aggregate_controlled(
                 aggregable.push(id);
                 match kind {
                     TwoQubitKind::Cnot => {
-                        buckets.entry((a, GroupKind::Plain)).or_default().push(id);
-                        buckets
-                            .entry((b, GroupKind::Conjugated))
-                            .or_default()
-                            .push(id);
+                        plain[a.index()].push(id);
+                        conjugated[b.index()].push(id);
                     }
                     TwoQubitKind::Cz | TwoQubitKind::Cphase | TwoQubitKind::Rzz => {
-                        buckets.entry((a, GroupKind::Plain)).or_default().push(id);
-                        buckets.entry((b, GroupKind::Plain)).or_default().push(id);
+                        plain[a.index()].push(id);
+                        plain[b.index()].push(id);
                     }
                     TwoQubitKind::Swap => unreachable!("swap is not controlled"),
                 }
@@ -143,43 +144,58 @@ pub fn aggregate_controlled(
         }
     }
 
-    let mut assigned: HashMap<GateId, ()> = HashMap::new();
+    let mut assigned = vec![false; circuit.len()];
     let mut groups = Vec::new();
 
     // Greedy by initial bucket size: visit hubs from the most to the least
     // populous and carve each one's group from the still-unassigned gates.
     // (A single pass — re-counting after every pick would be quadratic on
     // the all-commuting fronts of QAOA-size programs.)
-    let mut order: Vec<(Qubit, GroupKind)> = buckets.keys().copied().collect();
-    order.sort_by_key(|key| {
-        let len = buckets[key].len();
+    let mut order: Vec<(Qubit, GroupKind)> = Vec::new();
+    for q in 0..nq as u32 {
+        if !plain[q as usize].is_empty() {
+            order.push((Qubit(q), GroupKind::Plain));
+        }
+        if !conjugated[q as usize].is_empty() {
+            order.push((Qubit(q), GroupKind::Conjugated));
+        }
+    }
+    let bucket = |hub: Qubit, kind: GroupKind| -> &Vec<GateId> {
+        match kind {
+            GroupKind::Plain => &plain[hub.index()],
+            GroupKind::Conjugated => &conjugated[hub.index()],
+        }
+    };
+    order.sort_by_key(|&(hub, kind)| {
         (
-            std::cmp::Reverse(len),
-            key.0,
-            matches!(key.1, GroupKind::Conjugated),
+            std::cmp::Reverse(bucket(hub, kind).len()),
+            hub,
+            matches!(kind, GroupKind::Conjugated),
         )
     });
 
-    for key in order {
-        let ids = &buckets[&key];
-        let (hub, kind) = key;
+    // seen_stamp[q] == group ordinal + 1 marks q as already targeted by
+    // the group under construction (duplicate pairs keep one component).
+    let mut seen_stamp = vec![0u32; nq];
+    for (ordinal, &(hub, kind)) in order.iter().enumerate() {
+        let stamp = ordinal as u32 + 1;
         let mut comps: Vec<TargetComponent> = Vec::new();
-        let mut seen_others: HashMap<Qubit, ()> = HashMap::new();
-        for &id in ids {
-            if assigned.contains_key(&id) {
+        for &id in bucket(hub, kind) {
+            if assigned[id.index()] {
                 continue;
             }
             let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
                 continue;
             };
             let other = if a == hub { b } else { a };
-            if seen_others.insert(other, ()).is_none() {
+            if seen_stamp[other.index()] != stamp {
+                seen_stamp[other.index()] = stamp;
                 comps.push(TargetComponent { gate: id, other });
             }
         }
         if comps.len() >= min {
             for c in &comps {
-                assigned.insert(c.gate, ());
+                assigned[c.gate.index()] = true;
             }
             groups.push(MultiTargetGate {
                 hub,
@@ -192,7 +208,7 @@ pub fn aggregate_controlled(
     groups.sort_by(|a, b| b.len().cmp(&a.len()).then(a.hub.cmp(&b.hub)));
 
     for id in aggregable {
-        if !assigned.contains_key(&id) {
+        if !assigned[id.index()] {
             leftovers.push(id);
         }
     }

@@ -17,6 +17,7 @@ use std::collections::BTreeSet;
 
 use crate::circuit::Circuit;
 use crate::commute::PauliRole;
+use crate::gate::Gate;
 use crate::qubit::Qubit;
 
 /// Identifier of a gate: its position in the circuit's program order.
@@ -60,7 +61,7 @@ struct BlockPos {
 /// c.cnot(Qubit(0), Qubit(2))?; // commutes with the first (shared control)
 /// let dag = CommutationDag::new(&c);
 /// let mut sched = dag.schedule();
-/// assert_eq!(sched.ready().len(), 2); // both CNOTs are immediately ready
+/// assert_eq!(sched.ready_len(), 2); // both CNOTs are immediately ready
 /// # Ok(())
 /// # }
 /// ```
@@ -70,6 +71,9 @@ pub struct CommutationDag {
     blocks: Vec<Vec<Block>>,
     /// gate_pos[g] = positions of gate g on its operands (1 or 2 entries).
     gate_pos: Vec<[Option<BlockPos>; 2]>,
+    /// two_qubit[g] = whether gate g is a two-qubit gate (partitions the
+    /// schedule's ready front).
+    two_qubit: Vec<bool>,
     num_gates: usize,
 }
 
@@ -79,6 +83,7 @@ impl CommutationDag {
         let nq = circuit.num_qubits() as usize;
         let mut blocks: Vec<Vec<Block>> = vec![Vec::new(); nq];
         let mut gate_pos = vec![[None, None]; circuit.len()];
+        let two_qubit: Vec<bool> = circuit.gates().iter().map(Gate::is_two_qubit).collect();
 
         for (id, gate) in circuit.iter() {
             for (slot, q) in (&gate.qubits()).into_iter().enumerate() {
@@ -106,6 +111,7 @@ impl CommutationDag {
         CommutationDag {
             blocks,
             gate_pos,
+            two_qubit,
             num_gates: circuit.len(),
         }
     }
@@ -144,16 +150,24 @@ impl CommutationDag {
 
 /// Incremental front-layer tracker over a [`CommutationDag`].
 ///
-/// Call [`DagSchedule::ready`] for the current set of executable gates and
-/// [`DagSchedule::complete`] as the compiler commits each gate. The ready
-/// set is always an antichain of pairwise-commuting gates.
+/// The ready front is maintained incrementally and *partitioned by gate
+/// kind*: one-qubit gates and measurements on one side, two-qubit gates on
+/// the other, because the compiler treats them in separate phases every
+/// round. Iterate either side without allocating via
+/// [`DagSchedule::ready_one_qubit`] / [`DagSchedule::ready_two_qubit`],
+/// drain the cheap side with [`DagSchedule::pop_ready_one_qubit`], and
+/// commit gates with [`DagSchedule::complete`]. The combined front is
+/// always an antichain of pairwise-commuting gates.
 #[derive(Debug, Clone)]
 pub struct DagSchedule<'a> {
     dag: &'a CommutationDag,
     /// done[q][b] = completed gates within block b of qubit q.
     done: Vec<Vec<u32>>,
     completed: Vec<bool>,
-    ready: BTreeSet<GateId>,
+    /// Ready one-qubit gates and measurements.
+    ready_one: BTreeSet<GateId>,
+    /// Ready two-qubit gates.
+    ready_two: BTreeSet<GateId>,
     num_completed: usize,
 }
 
@@ -164,13 +178,14 @@ impl<'a> DagSchedule<'a> {
             dag,
             done,
             completed: vec![false; dag.num_gates],
-            ready: BTreeSet::new(),
+            ready_one: BTreeSet::new(),
+            ready_two: BTreeSet::new(),
             num_completed: 0,
         };
         for g in 0..dag.num_gates {
             let id = GateId(g as u32);
             if s.is_ready(id) {
-                s.ready.insert(id);
+                s.insert_ready(id);
             }
         }
         s
@@ -191,14 +206,67 @@ impl<'a> DagSchedule<'a> {
             .all(|pos| pos.block == 0 || self.block_done(pos.qubit, pos.block - 1))
     }
 
+    fn front_of(&mut self, g: GateId) -> &mut BTreeSet<GateId> {
+        if self.dag.two_qubit[g.index()] {
+            &mut self.ready_two
+        } else {
+            &mut self.ready_one
+        }
+    }
+
+    fn insert_ready(&mut self, g: GateId) {
+        self.front_of(g).insert(g);
+    }
+
     /// The currently executable gates, in ascending [`GateId`] order.
-    pub fn ready(&self) -> Vec<GateId> {
-        self.ready.iter().copied().collect()
+    ///
+    /// Allocates a fresh `Vec` — intended for tests and diagnostics only;
+    /// the compiler's per-round path iterates the partitioned front
+    /// borrow-based instead.
+    pub fn ready_snapshot(&self) -> Vec<GateId> {
+        let mut all: Vec<GateId> = self
+            .ready_one
+            .iter()
+            .chain(self.ready_two.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Iterates the ready one-qubit gates and measurements, ascending.
+    pub fn ready_one_qubit(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.ready_one.iter().copied()
+    }
+
+    /// Iterates the ready two-qubit gates, ascending.
+    pub fn ready_two_qubit(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.ready_two.iter().copied()
+    }
+
+    /// Number of currently ready gates (both kinds).
+    pub fn ready_len(&self) -> usize {
+        self.ready_one.len() + self.ready_two.len()
+    }
+
+    /// Drain-style front consumption: removes and completes the smallest
+    /// ready one-qubit gate or measurement, returning its id (the caller
+    /// emits the corresponding physical op). Newly unlocked gates join the
+    /// front immediately, so looping until `None` executes every
+    /// transitively unlockable non-two-qubit gate.
+    pub fn pop_ready_one_qubit(&mut self) -> Option<GateId> {
+        let g = self.ready_one.pop_first()?;
+        self.finish(g);
+        Some(g)
     }
 
     /// `true` when `g` is currently in the ready set.
     pub fn is_gate_ready(&self, g: GateId) -> bool {
-        self.ready.contains(&g)
+        if self.dag.two_qubit[g.index()] {
+            self.ready_two.contains(&g)
+        } else {
+            self.ready_one.contains(&g)
+        }
     }
 
     /// `true` once `g` has been completed.
@@ -224,21 +292,28 @@ impl<'a> DagSchedule<'a> {
     /// dependency), which indicates a compiler bug.
     pub fn complete(&mut self, g: GateId) {
         assert!(
-            self.ready.remove(&g),
+            self.front_of(g).remove(&g),
             "gate {g:?} completed while not ready"
         );
+        self.finish(g);
+    }
+
+    /// Marks an already-dequeued gate done and promotes newly unlocked
+    /// successors into the ready front.
+    fn finish(&mut self, g: GateId) {
         self.completed[g.index()] = true;
         self.num_completed += 1;
-        for pos in self.dag.gate_pos[g.index()].iter().flatten() {
+        let dag = self.dag;
+        for pos in dag.gate_pos[g.index()].iter().flatten() {
             self.done[pos.qubit as usize][pos.block as usize] += 1;
             // If this block just finished, gates of the next block on this
             // qubit may have become ready.
             if self.block_done(pos.qubit, pos.block) {
-                let qblocks = &self.dag.blocks[pos.qubit as usize];
+                let qblocks = &dag.blocks[pos.qubit as usize];
                 if let Some(next) = qblocks.get(pos.block as usize + 1) {
                     for &cand in &next.gates {
                         if self.is_ready(cand) {
-                            self.ready.insert(cand);
+                            self.insert_ready(cand);
                         }
                     }
                 }
@@ -260,11 +335,11 @@ mod tests {
         c.cnot(Qubit(2), Qubit(3)).unwrap();
         let dag = CommutationDag::new(&c);
         let mut s = dag.schedule();
-        assert_eq!(s.ready(), vec![GateId(0)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(0)]);
         s.complete(GateId(0));
-        assert_eq!(s.ready(), vec![GateId(1)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(1)]);
         s.complete(GateId(1));
-        assert_eq!(s.ready(), vec![GateId(2)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(2)]);
         s.complete(GateId(2));
         assert!(s.is_finished());
     }
@@ -277,7 +352,7 @@ mod tests {
         }
         let dag = CommutationDag::new(&c);
         let s = dag.schedule();
-        assert_eq!(s.ready().len(), 4);
+        assert_eq!(s.ready_snapshot().len(), 4);
     }
 
     #[test]
@@ -288,7 +363,7 @@ mod tests {
         }
         let dag = CommutationDag::new(&c);
         let s = dag.schedule();
-        assert_eq!(s.ready().len(), 4);
+        assert_eq!(s.ready_snapshot().len(), 4);
     }
 
     #[test]
@@ -299,7 +374,7 @@ mod tests {
         c.cnot(Qubit(0), Qubit(2)).unwrap();
         let dag = CommutationDag::new(&c);
         let s = dag.schedule();
-        assert_eq!(s.ready().len(), 3);
+        assert_eq!(s.ready_snapshot().len(), 3);
     }
 
     #[test]
@@ -310,11 +385,11 @@ mod tests {
         c.cnot(Qubit(0), Qubit(2)).unwrap();
         let dag = CommutationDag::new(&c);
         let mut s = dag.schedule();
-        assert_eq!(s.ready(), vec![GateId(0)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(0)]);
         s.complete(GateId(0));
-        assert_eq!(s.ready(), vec![GateId(1)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(1)]);
         s.complete(GateId(1));
-        assert_eq!(s.ready(), vec![GateId(2)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(2)]);
     }
 
     #[test]
@@ -328,11 +403,11 @@ mod tests {
         let dag = CommutationDag::new(&c);
         assert_eq!(dag.predecessors(GateId(2)), vec![GateId(0), GateId(1)]);
         let mut s = dag.schedule();
-        assert_eq!(s.ready(), vec![GateId(0), GateId(1)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(0), GateId(1)]);
         s.complete(GateId(1));
-        assert_eq!(s.ready(), vec![GateId(0)]); // x still blocked
+        assert_eq!(s.ready_snapshot(), vec![GateId(0)]); // x still blocked
         s.complete(GateId(0));
-        assert_eq!(s.ready(), vec![GateId(2)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(2)]);
     }
 
     #[test]
@@ -352,9 +427,9 @@ mod tests {
         let dag = CommutationDag::new(&c);
         let mut s = dag.schedule();
         s.complete(GateId(0));
-        assert_eq!(s.ready(), vec![GateId(1)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(1)]);
         s.complete(GateId(1));
-        assert_eq!(s.ready(), vec![GateId(2)]);
+        assert_eq!(s.ready_snapshot(), vec![GateId(2)]);
         s.complete(GateId(2));
         assert!(s.is_finished());
         assert_eq!(s.completed_count(), 3);

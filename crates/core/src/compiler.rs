@@ -19,13 +19,14 @@
 
 use std::collections::HashSet;
 
-use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, Topology};
+use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, QubitSet, Topology};
 use mech_circuit::{
     aggregate_controlled, AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId,
-    GroupKind, MultiTargetGate,
+    GroupKind, MultiTargetGate, Qubit,
 };
 use mech_highway::{
-    entrance_candidates, prepare_ghz, prepare_ghz_chain, ActiveGroup, ShuttleState, ShuttleStats,
+    prepare_ghz, prepare_ghz_chain, ActiveGroup, EntranceOption, EntranceTable, ShuttleState,
+    ShuttleStats,
 };
 use mech_router::{LocalRouter, Mapping};
 
@@ -83,6 +84,10 @@ pub struct MechCompiler<'a> {
 }
 
 /// Mutable compilation state threaded through the rounds.
+///
+/// Besides the live pipeline objects, the session owns the per-round
+/// scratch buffers; every round clears and refills them, so the steady
+/// state of `round_pass` allocates nothing.
 struct Session<'a> {
     circuit: &'a Circuit,
     pc: PhysCircuit,
@@ -90,30 +95,23 @@ struct Session<'a> {
     sched: DagSchedule<'a>,
     shuttle: ShuttleState,
     router: LocalRouter<'a>,
+    /// Entrance options per data qubit, built once per compilation (the
+    /// data/highway geometry is static, so they never change).
+    entrances: EntranceTable,
     /// Components executed in the open shuttle, retired at close.
     pending_close: Vec<GateId>,
     pending_set: HashSet<GateId>,
     regular_gates: u64,
-    /// Entrance options per physical position (the data/highway geometry is
-    /// static, so these never change).
-    entrance_cache: Vec<Option<Vec<mech_highway::EntranceOption>>>,
-}
-
-impl Session<'_> {
-    /// Cached entrance candidates for the data qubit at `pos`.
-    fn entrances_at(
-        &mut self,
-        topo: &Topology,
-        layout: &HighwayLayout,
-        pos: PhysQubit,
-        limit: usize,
-    ) -> &[mech_highway::EntranceOption] {
-        let slot = &mut self.entrance_cache[pos.index()];
-        if slot.is_none() {
-            *slot = Some(entrance_candidates(topo, layout, pos, limit));
-        }
-        slot.as_deref().expect("just filled")
-    }
+    /// Phase B scratch: ready two-qubit gates eligible for aggregation.
+    ready2: Vec<GateId>,
+    /// Group-assembly scratch: components ordered by highway distance.
+    comps: Vec<(GateId, Qubit, u32)>,
+    /// Group-assembly scratch: components with a claimed entrance.
+    chosen: Vec<(GateId, Qubit, EntranceOption)>,
+    /// Group-assembly scratch: candidate entrances for one component.
+    ranked: Vec<EntranceOption>,
+    /// Group-assembly scratch: entrances consumed by the current group.
+    entrance_set: HashSet<PhysQubit>,
 }
 
 impl<'a> MechCompiler<'a> {
@@ -156,10 +154,19 @@ impl<'a> MechCompiler<'a> {
             sched: dag.schedule(),
             shuttle: ShuttleState::new(self.topo),
             router: LocalRouter::new(self.topo, self.layout),
+            entrances: EntranceTable::build(
+                self.topo,
+                self.layout,
+                self.config.entrance_candidates,
+            ),
             pending_close: Vec::new(),
             pending_set: HashSet::new(),
             regular_gates: 0,
-            entrance_cache: vec![None; self.topo.num_qubits() as usize],
+            ready2: Vec::new(),
+            comps: Vec::new(),
+            chosen: Vec::new(),
+            ranked: Vec::new(),
+            entrance_set: HashSet::new(),
         };
 
         while !s.sched.is_finished() {
@@ -192,47 +199,33 @@ impl<'a> MechCompiler<'a> {
     fn round_pass(&self, s: &mut Session<'_>) -> Result<bool, CompileError> {
         let mut progressed = false;
 
-        // Phase A: free one-qubit gates and measurements.
-        loop {
-            let mut acted = false;
-            for id in s.sched.ready() {
-                if s.pending_set.contains(&id) {
-                    continue;
+        // Phase A: free one-qubit gates and measurements, drained straight
+        // off the partitioned front. Gates pending a shuttle close are all
+        // two-qubit, so no filtering is needed here.
+        while let Some(id) = s.sched.pop_ready_one_qubit() {
+            match s.circuit.gates()[id.index()] {
+                Gate::One { q, .. } => {
+                    let p = s.mapping.phys(q);
+                    s.pc.one_qubit(p);
                 }
-                match s.circuit.gates()[id.index()] {
-                    Gate::One { q, .. } => {
-                        let p = s.mapping.phys(q);
-                        s.pc.one_qubit(p);
-                        s.sched.complete(id);
-                        acted = true;
-                    }
-                    Gate::Measure { q } => {
-                        let p = s.mapping.phys(q);
-                        s.pc.measure(p);
-                        s.sched.complete(id);
-                        acted = true;
-                    }
-                    Gate::Two { .. } => {}
+                Gate::Measure { q } => {
+                    let p = s.mapping.phys(q);
+                    s.pc.measure(p);
                 }
+                Gate::Two { .. } => unreachable!("two-qubit gates stay on the two-qubit front"),
             }
-            if acted {
-                progressed = true;
-            } else {
-                break;
-            }
+            progressed = true;
         }
 
-        // Phase B: aggregate and execute highway gates.
-        let ready2: Vec<GateId> = s
-            .sched
-            .ready()
-            .into_iter()
-            .filter(|id| !s.pending_set.contains(id))
-            .filter(|id| s.circuit.gates()[id.index()].is_two_qubit())
-            .collect();
+        // Phase B: aggregate and execute highway gates. The two-qubit front
+        // is iterated borrow-based into a reusable buffer.
+        s.ready2.clear();
+        let pending = &s.pending_set;
+        s.ready2
+            .extend(s.sched.ready_two_qubit().filter(|id| !pending.contains(id)));
         let (groups, regular) = aggregate_controlled(
             s.circuit,
-            &ready2,
+            &s.ready2,
             AggregateOptions {
                 min_components: self.config.min_components,
             },
@@ -258,14 +251,17 @@ impl<'a> MechCompiler<'a> {
             }
         }
 
-        // Phase C: regular two-qubit gates (off-highway).
-        let pinned = self.pinned(s);
+        // Phase C: regular two-qubit gates (off-highway). The pinned set —
+        // hubs of open groups and highway qubits holding live GHZ states —
+        // is a zero-cost view over incrementally maintained shuttle state.
+        let pinned = s.shuttle.pinned_view();
         for id in regular {
             let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
                 continue;
             };
             // Never displace a pinned hub; its gates wait for the close.
-            if pinned.contains(&s.mapping.phys(a)) || pinned.contains(&s.mapping.phys(b)) {
+            if pinned.contains_qubit(s.mapping.phys(a)) || pinned.contains_qubit(s.mapping.phys(b))
+            {
                 continue;
             }
             match s
@@ -287,26 +283,21 @@ impl<'a> MechCompiler<'a> {
         Ok(progressed)
     }
 
-    /// The positions local routing must not displace or traverse: hubs of
-    /// open groups and highway qubits holding live GHZ states.
-    fn pinned(&self, s: &Session<'_>) -> HashSet<PhysQubit> {
-        let mut pinned = s.shuttle.pinned();
-        pinned.extend(s.shuttle.occupancy.claimed_nodes());
-        pinned
-    }
-
     /// Guaranteed-progress fallback: executes the first ready two-qubit
     /// gate as a regular gate with the shuttle closed.
     fn force_one_gate(&self, s: &mut Session<'_>) -> Result<(), CompileError> {
         debug_assert!(!s.shuttle.is_open());
+        debug_assert!(
+            s.sched.ready_one_qubit().next().is_none(),
+            "phase A drains the one-qubit front"
+        );
         let id = s
             .sched
-            .ready()
-            .into_iter()
+            .ready_two_qubit()
             .find(|id| !s.pending_set.contains(id))
             .expect("unfinished schedule has a ready gate");
         let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
-            unreachable!("phase A executes all ready non-2q gates");
+            unreachable!("the two-qubit front only holds two-qubit gates");
         };
         s.router
             .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &HashSet::new())?;
@@ -320,22 +311,17 @@ impl<'a> MechCompiler<'a> {
     /// assemble and was abandoned; its gates stay ready).
     fn try_group(&self, s: &mut Session<'_>, group: &MultiTargetGate) -> Vec<GateId> {
         let gid = s.shuttle.next_group_id();
-        let pinned = self.pinned(s);
 
-        // Hub entrance: earliest execution time among claimable candidates.
+        // Hub entrance: earliest execution time among claimable candidates,
+        // borrowed straight from the precomputed entrance table.
         let hub_pos = s.mapping.phys(group.hub);
-        let hub_opts = s
-            .entrances_at(
-                self.topo,
-                self.layout,
-                hub_pos,
-                self.config.entrance_candidates,
-            )
-            .to_vec();
-        let hub_choice = hub_opts
+        let pinned = s.shuttle.pinned_view();
+        let hub_choice = s
+            .entrances
+            .at(hub_pos)
             .iter()
             .filter(|o| s.shuttle.occupancy.available_for(o.entrance, gid))
-            .filter(|o| !pinned.contains(&o.access) && !pinned.contains(&o.entrance))
+            .filter(|o| !pinned.contains_qubit(o.access) && !pinned.contains_qubit(o.entrance))
             .min_by_key(|o| {
                 let t_arr = s.pc.time(hub_pos) + u64::from(3 * o.distance);
                 // Any chosen entrance is floored to the shuttle horizon
@@ -359,57 +345,60 @@ impl<'a> MechCompiler<'a> {
         // Component entrances, assigned in ascending order of distance to
         // the highway (paper §6.1), each claiming a highway route from the
         // hub entrance with maximal reuse.
-        let mut comps: Vec<(GateId, mech_circuit::Qubit, u32)> = Vec::new();
+        s.comps.clear();
         for c in &group.components {
             let pos = s.mapping.phys(c.other);
-            let d = s
-                .entrances_at(self.topo, self.layout, pos, self.config.entrance_candidates)
-                .first()
-                .map_or(u32::MAX, |o| o.distance);
-            comps.push((c.gate, c.other, d));
+            let d = s.entrances.at(pos).first().map_or(u32::MAX, |o| o.distance);
+            s.comps.push((c.gate, c.other, d));
         }
-        comps.sort_by_key(|&(_, _, d)| d);
+        s.comps.sort_by_key(|&(_, _, d)| d);
 
-        let mut chosen: Vec<(GateId, mech_circuit::Qubit, mech_highway::EntranceOption)> =
-            Vec::new();
-        let mut entrances: HashSet<PhysQubit> = HashSet::from([hub_choice.entrance]);
-        for (gate, other, _) in comps {
+        s.chosen.clear();
+        s.entrance_set.clear();
+        s.entrance_set.insert(hub_choice.entrance);
+        for i in 0..s.comps.len() {
+            let (gate, other, _) = s.comps[i];
             let pos = s.mapping.phys(other);
-            let opts = s
-                .entrances_at(self.topo, self.layout, pos, self.config.entrance_candidates)
-                .to_vec();
-            let mut ranked: Vec<_> = opts
-                .iter()
-                // The hub's entrance is consumed by the attach measurement;
-                // components must enter elsewhere.
-                .filter(|o| o.entrance != hub_choice.entrance)
-                .filter(|o| !pinned.contains(&o.access))
-                .collect();
-            ranked.sort_by_key(|o| {
+            let pinned = s.shuttle.pinned_view();
+            s.ranked.clear();
+            s.ranked.extend(
+                s.entrances
+                    .at(pos)
+                    .iter()
+                    // The hub's entrance is consumed by the attach
+                    // measurement; components must enter elsewhere.
+                    .filter(|o| o.entrance != hub_choice.entrance)
+                    .filter(|o| !pinned.contains_qubit(o.access)),
+            );
+            s.ranked.sort_by_key(|o| {
                 let t_arr = s.pc.time(pos) + u64::from(3 * o.distance);
                 // Same horizon flooring as the hub ranking above.
                 let t_ava = s.pc.time(o.entrance).max(s.shuttle.horizon());
                 (t_arr.max(t_ava), o.distance)
             });
-            for o in ranked {
+            for j in 0..s.ranked.len() {
+                let o = s.ranked[j];
                 if s.shuttle
                     .occupancy
                     .claim_route(self.layout, hub_choice.entrance, o.entrance, gid)
                     .is_ok()
                 {
-                    entrances.insert(o.entrance);
-                    chosen.push((gate, other, *o));
+                    s.entrance_set.insert(o.entrance);
+                    s.chosen.push((gate, other, o));
                     break;
                 }
             }
         }
 
-        if chosen.is_empty() {
+        if s.chosen.is_empty() {
             s.shuttle.occupancy.release(gid);
             return Vec::new();
         }
 
-        // Route the hub to its access position before entangling.
+        // Route the hub to its access position before entangling. The
+        // group's own fresh claims are *not* pinned yet: they hold no GHZ
+        // state, so the hub may pass through them.
+        let pinned = s.shuttle.pinned_view_excluding(gid);
         if s.router
             .route_to(
                 &mut s.pc,
@@ -424,27 +413,28 @@ impl<'a> MechCompiler<'a> {
             return Vec::new();
         }
 
-        // GHZ preparation over the claimed tree.
-        let nodes = s.shuttle.occupancy.nodes_of(gid).to_vec();
-        let edges = s.shuttle.occupancy.edges_of(gid).to_vec();
-        // A shuttle is a global highway time window (paper §6.2): nothing
-        // belonging to this shuttle may start before the previous shuttle
-        // closed, even on highway qubits the previous shuttles never
-        // touched.
-        for &q in &nodes {
-            s.pc.advance(q, s.shuttle.horizon());
+        // GHZ preparation over the claimed tree, borrowing the claim lists
+        // in place. A shuttle is a global highway time window (paper §6.2):
+        // nothing belonging to this shuttle may start before the previous
+        // shuttle closed, even on highway qubits the previous shuttles
+        // never touched.
+        let horizon = s.shuttle.horizon();
+        let nodes = s.shuttle.occupancy.nodes_of(gid);
+        let edges = s.shuttle.occupancy.edges_of(gid);
+        for &q in nodes {
+            s.pc.advance(q, horizon);
         }
         let prep = match self.config.ghz_style {
             crate::GhzStyle::MeasurementBased => prepare_ghz(
                 &mut s.pc,
                 self.topo,
                 self.layout,
-                &nodes,
-                &edges,
-                &entrances,
+                nodes,
+                edges,
+                &s.entrance_set,
             ),
             crate::GhzStyle::Chain => {
-                prepare_ghz_chain(&mut s.pc, self.topo, self.layout, &nodes, &edges)
+                prepare_ghz_chain(&mut s.pc, self.topo, self.layout, nodes, edges)
             }
         };
 
@@ -455,7 +445,7 @@ impl<'a> MechCompiler<'a> {
                 hub_data: hub_choice.access,
                 conjugated,
             },
-            prep.live.clone(),
+            prep.live,
         );
         if conjugated {
             s.pc.one_qubit(hub_choice.access); // opening H on the hub
@@ -469,9 +459,10 @@ impl<'a> MechCompiler<'a> {
         );
 
         // Stream the components; hubs of other groups stay pinned.
-        let pinned = self.pinned(s);
         let mut executed = Vec::new();
-        for (gate, other, opt) in chosen {
+        for i in 0..s.chosen.len() {
+            let (gate, other, opt) = s.chosen[i];
+            let pinned = s.shuttle.pinned_view();
             if s.router
                 .route_to(&mut s.pc, &mut s.mapping, other, opt.access, &pinned)
                 .is_err()

@@ -7,8 +7,20 @@
 //! directly.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use mech_chiplet::{HighwayLayout, PhysQubit, Topology};
+
+/// Process-wide count of BFS entrance searches run. Lets tests assert that
+/// the compiler builds its entrance tables once per compilation instead of
+/// re-searching per group.
+static SEARCHES: AtomicU64 = AtomicU64::new(0);
+
+/// The number of [`entrance_candidates`] searches run by this process so
+/// far (diagnostic; monotone).
+pub fn entrance_search_count() -> u64 {
+    SEARCHES.load(Ordering::Relaxed)
+}
 
 /// One way for a data qubit to reach the highway.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +66,7 @@ pub fn entrance_candidates(
         !layout.is_highway(from),
         "entrance search starts from a data qubit"
     );
+    SEARCHES.fetch_add(1, Ordering::Relaxed);
     let mut options: Vec<EntranceOption> = Vec::new();
     let mut dist = vec![u32::MAX; topo.num_qubits() as usize];
     dist[from.index()] = 0;
@@ -89,6 +102,49 @@ pub fn entrance_candidates(
     options.sort_by_key(|o| (o.distance, o.entrance, o.access));
     options.truncate(limit);
     options
+}
+
+/// Entrance options for every data qubit, built eagerly once per
+/// compilation.
+///
+/// The data/highway geometry is static for the whole computation, so the
+/// compiler precomputes the full table up front and *borrows* option
+/// slices during group assembly instead of re-searching (or cloning a
+/// lazily filled cache) per multi-target gate.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{ChipletSpec, HighwayLayout};
+/// use mech_highway::EntranceTable;
+///
+/// let topo = ChipletSpec::square(7, 1, 1).build();
+/// let hw = HighwayLayout::generate(&topo, 1);
+/// let table = EntranceTable::build(&topo, &hw, 4);
+/// let from = hw.data_qubits()[0];
+/// assert!(!table.at(from).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntranceTable {
+    options: Vec<Vec<EntranceOption>>,
+}
+
+impl EntranceTable {
+    /// Runs the entrance search for every data qubit of `layout`, keeping
+    /// up to `limit` options each.
+    pub fn build(topo: &Topology, layout: &HighwayLayout, limit: usize) -> Self {
+        let mut options = vec![Vec::new(); topo.num_qubits() as usize];
+        for q in layout.data_qubits() {
+            options[q.index()] = entrance_candidates(topo, layout, q, limit);
+        }
+        EntranceTable { options }
+    }
+
+    /// The entrance options for the data qubit at `pos`, ordered by
+    /// increasing SWAP distance (empty for highway positions).
+    pub fn at(&self, pos: PhysQubit) -> &[EntranceOption] {
+        &self.options[pos.index()]
+    }
 }
 
 #[cfg(test)]

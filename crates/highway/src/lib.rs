@@ -22,7 +22,9 @@ mod ghz;
 mod occupancy;
 mod shuttle;
 
-pub use entrance::{entrance_candidates, EntranceOption};
+pub use entrance::{entrance_candidates, entrance_search_count, EntranceOption, EntranceTable};
 pub use ghz::{prepare_ghz, prepare_ghz_chain, GhzPrep};
 pub use occupancy::{GroupId, HighwayOccupancy, RouteError};
-pub use shuttle::{ActiveGroup, ShuttleRecord, ShuttleState, ShuttleStats};
+pub use shuttle::{
+    ActiveGroup, PinnedView, PinnedViewExcluding, ShuttleRecord, ShuttleState, ShuttleStats,
+};

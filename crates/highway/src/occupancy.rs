@@ -1,9 +1,10 @@
 //! Spatial sharing of the highway: path claiming with maximal reuse.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::collections::HashMap;
 use std::fmt;
 
-use mech_chiplet::{HighwayLayout, PhysQubit};
+use mech_chiplet::{HighwayLayout, PhysQubit, RoutingScratch, UNREACHED};
 
 /// Identifier of a multi-target gate currently holding highway resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -73,6 +74,8 @@ pub struct HighwayOccupancy {
     /// preparation entangles exactly these.
     edges: HashMap<GroupId, Vec<(PhysQubit, PhysQubit)>>,
     nodes: HashMap<GroupId, Vec<PhysQubit>>,
+    /// Reusable routing workspace (same mechanism as the local router).
+    scratch: RoutingScratch,
 }
 
 impl HighwayOccupancy {
@@ -83,6 +86,7 @@ impl HighwayOccupancy {
             owner: vec![None; topo.num_qubits() as usize],
             edges: HashMap::new(),
             nodes: HashMap::new(),
+            scratch: RoutingScratch::default(),
         }
     }
 
@@ -139,48 +143,50 @@ impl HighwayOccupancy {
         }
 
         // Dijkstra over highway nodes; cost = number of nodes not yet owned
-        // by `g` (ties broken by hop count for shorter GHZ chains).
-        let n = self.owner.len();
-        let mut best: Vec<(u32, u32)> = vec![(u32::MAX, u32::MAX); n];
-        let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
-        let start_cost = u32::from(!self.is_owned_by(from, g));
-        best[from.index()] = (start_cost, 0);
-        // Max-heap on Reverse ordering: store negated via Reverse tuple.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32, PhysQubit)>> = BinaryHeap::new();
-        heap.push(std::cmp::Reverse((start_cost, 0, from)));
+        // by `g` (ties broken by hop count for shorter GHZ chains). Runs in
+        // the reusable generation-stamped scratch, so claiming allocates
+        // only the returned path. Predecessors are reconstructed backwards
+        // by minimum-id neighbor, matching the prev tree of the
+        // `(cost, hops, qubit)`-ordered forward search exactly.
+        let owner = &self.owner;
+        let scratch = &mut self.scratch;
+        let owned = |q: PhysQubit| owner[q.index()] == Some(g);
+        let avail = |q: PhysQubit| owner[q.index()].is_none_or(|o| o == g);
+        scratch.begin(owner.len());
+        let start_cost = (u32::from(!owned(from)), 0);
+        scratch.set_cost(from, start_cost);
+        scratch.heap.push(Reverse((start_cost, from)));
 
-        while let Some(std::cmp::Reverse((cost, hops, q))) = heap.pop() {
-            if (cost, hops) > best[q.index()] {
+        while let Some(Reverse((cost, q))) = scratch.heap.pop() {
+            if cost > scratch.cost(q) {
                 continue;
             }
             if q == to {
                 break;
             }
             for nb in layout.highway_neighbors(q) {
-                if !self.available_for(nb, g) {
+                if !avail(nb) {
                     continue;
                 }
-                let ncost = cost + u32::from(!self.is_owned_by(nb, g));
-                let nhops = hops + 1;
-                if (ncost, nhops) < best[nb.index()] {
-                    best[nb.index()] = (ncost, nhops);
-                    prev[nb.index()] = Some(q);
-                    heap.push(std::cmp::Reverse((ncost, nhops, nb)));
+                let ncost = (cost.0 + u32::from(!owned(nb)), cost.1 + 1);
+                if ncost < scratch.cost(nb) {
+                    scratch.set_cost(nb, ncost);
+                    scratch.heap.push(Reverse((ncost, nb)));
                 }
             }
         }
 
-        if best[to.index()].0 == u32::MAX {
+        if scratch.cost(to) == UNREACHED {
             return Err(RouteError::Congested);
         }
 
-        let mut path = vec![to];
-        let mut cur = to;
-        while let Some(p) = prev[cur.index()] {
-            path.push(p);
-            cur = p;
-        }
-        path.reverse();
+        scratch.reconstruct_path(
+            from,
+            to,
+            |q| (u32::from(!owned(q)), 1),
+            |q| layout.highway_neighbors(q),
+        );
+        let path = scratch.path.clone();
         debug_assert_eq!(path[0], from);
 
         let group_nodes = self.nodes.entry(g).or_default();
@@ -200,10 +206,6 @@ impl HighwayOccupancy {
         Ok(path)
     }
 
-    fn is_owned_by(&self, q: PhysQubit, g: GroupId) -> bool {
-        self.owner[q.index()] == Some(g)
-    }
-
     /// Releases the resources of a single group (used when a gate fails to
     /// assemble and abandons its claims before executing anything).
     pub fn release(&mut self, g: GroupId) {
@@ -213,14 +215,6 @@ impl HighwayOccupancy {
             }
         }
         self.edges.remove(&g);
-    }
-
-    /// All currently claimed highway qubits.
-    pub fn claimed_nodes(&self) -> Vec<PhysQubit> {
-        (0..self.owner.len() as u32)
-            .map(PhysQubit)
-            .filter(|q| self.owner[q.index()].is_some())
-            .collect()
     }
 
     /// Releases everything (end of shuttle).

@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use mech_chiplet::{PhysCircuit, PhysQubit, Topology};
+use mech_chiplet::{PhysCircuit, PhysQubit, QubitSet, Topology};
 
 use crate::occupancy::{GroupId, HighwayOccupancy};
 
@@ -59,11 +59,49 @@ pub struct ShuttleState {
     pub occupancy: HighwayOccupancy,
     groups: Vec<ActiveGroup>,
     live: HashMap<GroupId, HashSet<PhysQubit>>,
+    /// hub_mask[q] = q is the hub data position of an open group. Updated
+    /// incrementally by `register_group`/`close` so the routing-time pinned
+    /// set never has to be rebuilt.
+    hub_mask: Vec<bool>,
     next_id: u32,
     stats: ShuttleStats,
     trace: Vec<ShuttleRecord>,
     components_at_open: u64,
     horizon: u64,
+}
+
+/// A borrow-based view of everything local routing must avoid: hubs of
+/// open groups and highway qubits holding live GHZ states. O(1) to create
+/// and query; stays consistent automatically because it reads the shuttle's
+/// incrementally maintained state instead of snapshotting it.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedView<'a> {
+    hubs: &'a [bool],
+    occupancy: &'a HighwayOccupancy,
+}
+
+impl QubitSet for PinnedView<'_> {
+    fn contains_qubit(&self, q: PhysQubit) -> bool {
+        self.hubs[q.index()] || self.occupancy.owner(q).is_some()
+    }
+}
+
+/// Like [`PinnedView`], but treating the claims of one group as free.
+///
+/// Used while routing the hub of a group still being assembled: its own
+/// freshly claimed highway qubits hold no GHZ state yet, so crossing them
+/// (with the restoring 3-SWAP pass-through) is harmless.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedViewExcluding<'a> {
+    hubs: &'a [bool],
+    occupancy: &'a HighwayOccupancy,
+    group: GroupId,
+}
+
+impl QubitSet for PinnedViewExcluding<'_> {
+    fn contains_qubit(&self, q: PhysQubit) -> bool {
+        self.hubs[q.index()] || self.occupancy.owner(q).is_some_and(|o| o != self.group)
+    }
 }
 
 impl ShuttleState {
@@ -73,11 +111,31 @@ impl ShuttleState {
             occupancy: HighwayOccupancy::new(topo),
             groups: Vec::new(),
             live: HashMap::new(),
+            hub_mask: vec![false; topo.num_qubits() as usize],
             next_id: 0,
             stats: ShuttleStats::default(),
             trace: Vec::new(),
             components_at_open: 0,
             horizon: 0,
+        }
+    }
+
+    /// The current pinned set as a zero-cost view (hub positions plus
+    /// claimed highway qubits).
+    pub fn pinned_view(&self) -> PinnedView<'_> {
+        PinnedView {
+            hubs: &self.hub_mask,
+            occupancy: &self.occupancy,
+        }
+    }
+
+    /// [`ShuttleState::pinned_view`] with the claims of group `g` treated
+    /// as free (for routing `g`'s own hub during assembly).
+    pub fn pinned_view_excluding(&self, g: GroupId) -> PinnedViewExcluding<'_> {
+        PinnedViewExcluding {
+            hubs: &self.hub_mask,
+            occupancy: &self.occupancy,
+            group: g,
         }
     }
 
@@ -110,6 +168,7 @@ impl ShuttleState {
         live: impl IntoIterator<Item = PhysQubit>,
     ) {
         self.live.insert(group.id, live.into_iter().collect());
+        self.hub_mask[group.hub_data.index()] = true;
         self.groups.push(group);
         self.stats.highway_gates += 1;
     }
@@ -126,6 +185,9 @@ impl ShuttleState {
 
     /// The hub positions that must not be displaced by local routing while
     /// the shuttle is open.
+    ///
+    /// Allocates; diagnostics and tests only. The compiler's hot path uses
+    /// [`ShuttleState::pinned_view`] instead.
     pub fn pinned(&self) -> HashSet<PhysQubit> {
         self.groups.iter().map(|g| g.hub_data).collect()
     }
@@ -214,6 +276,7 @@ impl ShuttleState {
                 pc.one_qubit(group.hub_data);
             }
             hub_ready = hub_ready.max(pc.time(group.hub_data));
+            self.hub_mask[group.hub_data.index()] = false;
         }
         self.groups.clear();
         self.occupancy.release_all();

@@ -8,11 +8,19 @@
 //! a terminal gap with a bridge gate — never disturbing highway state.
 //! Paths always avoid *pinned* positions (hubs of open shuttles and
 //! highway qubits claimed by live GHZ states).
+//!
+//! Pathfinding is A* over the coupling graph with the precomputed
+//! hop-distance table as the (admissible, consistent) heuristic, running
+//! in a generation-stamped [`RoutingScratch`] so steady-state searches
+//! allocate nothing. Paths are reconstructed backwards by minimum-id
+//! predecessor, which reproduces exactly the tree a plain Dijkstra with
+//! `(cost, qubit)` pop order builds — the search upgrade cannot change
+//! compiled schedules.
 
-use std::collections::{BinaryHeap, HashSet};
+use std::cmp::Reverse;
 use std::fmt;
 
-use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, Topology};
+use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, QubitSet, RoutingScratch, Topology};
 
 use crate::mapping::Mapping;
 
@@ -43,6 +51,9 @@ impl std::error::Error for RoutingError {}
 
 /// SWAP-based router over the data region.
 ///
+/// Owns its search workspace, so routing methods take `&mut self`; create
+/// one router per compilation session and reuse it for every route.
+///
 /// # Example
 ///
 /// ```
@@ -56,81 +67,104 @@ impl std::error::Error for RoutingError {}
 /// let data = hw.data_qubits();
 /// let mut mapping = Mapping::trivial(2, &data);
 /// let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
-/// let router = LocalRouter::new(&topo, &hw);
+/// let mut router = LocalRouter::new(&topo, &hw);
 /// let dest = *data.last().unwrap();
 /// router
 ///     .route_to(&mut pc, &mut mapping, Qubit(0), dest, &HashSet::new())
 ///     .unwrap();
 /// assert_eq!(mapping.phys(Qubit(0)), dest);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LocalRouter<'a> {
     topo: &'a Topology,
     layout: &'a HighwayLayout,
+    scratch: RoutingScratch,
 }
 
 impl<'a> LocalRouter<'a> {
     /// Creates a router for the given hardware and highway layout.
     pub fn new(topo: &'a Topology, layout: &'a HighwayLayout) -> Self {
-        LocalRouter { topo, layout }
+        LocalRouter {
+            topo,
+            layout,
+            scratch: RoutingScratch::default(),
+        }
     }
 
-    /// Dijkstra over all unpinned positions with node weights reflecting
-    /// SWAP cost: stepping onto a data qubit costs 1 swap; stepping onto an
-    /// idle highway qubit costs 2 (the forward swap plus the restoring swap
-    /// that puts the ancilla back once the traveler has passed). A run of
-    /// `k` consecutive highway qubits therefore costs `2k + 1` swaps.
-    /// Returns the node path from `from` to `to` inclusive.
-    fn find_path(
-        &self,
+    /// A* over all unpinned positions with node weights reflecting SWAP
+    /// cost: stepping onto a data qubit costs 1 swap; stepping onto an
+    /// idle highway qubit costs 2 (the forward swap plus the restoring
+    /// swap that puts the ancilla back once the traveler has passed). A
+    /// run of `k` consecutive highway qubits therefore costs `2k + 1`
+    /// swaps. The hop-distance table is the heuristic (each hop costs at
+    /// least 1). Leaves the node path from `from` to `to` inclusive in
+    /// `self.scratch.path`.
+    fn find_path<S: QubitSet>(
+        &mut self,
         from: PhysQubit,
         to: PhysQubit,
-        pinned: &HashSet<PhysQubit>,
-    ) -> Result<Vec<PhysQubit>, RoutingError> {
+        pinned: &S,
+    ) -> Result<(), RoutingError> {
+        let topo = self.topo;
+        let layout = self.layout;
+        let scratch = &mut self.scratch;
+        scratch.path.clear();
         if from == to {
-            return Ok(vec![from]);
+            scratch.path.push(from);
+            return Ok(());
         }
-        let n = self.topo.num_qubits() as usize;
-        let mut cost = vec![u32::MAX; n];
-        let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
-        cost[from.index()] = 0;
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, PhysQubit)>> = BinaryHeap::new();
-        heap.push(std::cmp::Reverse((0, from)));
 
-        while let Some(std::cmp::Reverse((c, u))) = heap.pop() {
-            if c > cost[u.index()] {
-                continue;
-            }
-            if u == to {
+        scratch.begin(topo.num_qubits() as usize);
+        let h = |q: PhysQubit| topo.distance(q, to);
+        scratch.set_cost(from, (0, 0));
+        scratch.heap.push(Reverse(((h(from), 0), from)));
+        // Once the goal cost is known, keep draining entries with f ≤
+        // g(to): that finalizes every node the path reconstruction can
+        // visit (anything with a better f), at which point the recorded
+        // costs agree with a full Dijkstra's.
+        let mut goal_cost: Option<u32> = None;
+
+        while let Some(Reverse(((f, _), q))) = scratch.heap.pop() {
+            if goal_cost.is_some_and(|g_to| f > g_to) {
                 break;
             }
-            for link in self.topo.neighbors(u) {
+            let (g, _) = scratch.cost(q);
+            if g == u32::MAX || f != g + h(q) {
+                continue; // stale entry superseded by a cheaper relaxation
+            }
+            if q == to {
+                continue; // never expand through the destination
+            }
+            for link in topo.neighbors(q) {
                 let v = link.to;
-                if v != to && pinned.contains(&v) {
+                if v != to && pinned.contains_qubit(v) {
                     continue;
                 }
-                let step = if self.layout.is_highway(v) { 2 } else { 1 };
-                let nc = c + step;
-                if nc < cost[v.index()] {
-                    cost[v.index()] = nc;
-                    prev[v.index()] = Some(u);
-                    heap.push(std::cmp::Reverse((nc, v)));
+                let step = if layout.is_highway(v) { 2 } else { 1 };
+                let ng = g + step;
+                if ng < scratch.cost(v).0 {
+                    scratch.set_cost(v, (ng, 0));
+                    if v == to {
+                        goal_cost = Some(ng);
+                    }
+                    scratch.heap.push(Reverse(((ng + h(v), 0), v)));
                 }
             }
         }
 
-        if cost[to.index()] == u32::MAX {
+        let (total, _) = scratch.cost(to);
+        if total == u32::MAX {
             return Err(RoutingError::Disconnected { from, to });
         }
-        let mut path = vec![to];
-        let mut cur = to;
-        while let Some(p) = prev[cur.index()] {
-            path.push(p);
-            cur = p;
-        }
-        path.reverse();
-        debug_assert_eq!(path[0], from);
-        Ok(path)
+
+        scratch.reconstruct_path(
+            from,
+            to,
+            |q| if layout.is_highway(q) { (2, 0) } else { (1, 0) },
+            |q| topo.neighbors(q).iter().map(|l| l.to),
+        );
+        debug_assert_eq!(scratch.path[0], from);
+        Ok(())
     }
 
     /// The SWAP cost from `from` to `to` (1 per data hop, 2 per highway
@@ -139,14 +173,14 @@ impl<'a> LocalRouter<'a> {
     /// # Errors
     ///
     /// [`RoutingError::Disconnected`] if no route exists.
-    pub fn data_distance(
-        &self,
+    pub fn data_distance<S: QubitSet>(
+        &mut self,
         from: PhysQubit,
         to: PhysQubit,
-        pinned: &HashSet<PhysQubit>,
+        pinned: &S,
     ) -> Result<u32, RoutingError> {
-        let path = self.find_path(from, to, pinned)?;
-        Ok(path[1..]
+        self.find_path(from, to, pinned)?;
+        Ok(self.scratch.path[1..]
             .iter()
             .map(|&q| if self.layout.is_highway(q) { 2 } else { 1 })
             .sum())
@@ -183,17 +217,17 @@ impl<'a> LocalRouter<'a> {
     /// # Errors
     ///
     /// [`RoutingError::Disconnected`] if no route exists.
-    pub fn route_to(
-        &self,
+    pub fn route_to<S: QubitSet>(
+        &mut self,
         pc: &mut PhysCircuit,
         mapping: &mut Mapping,
         q: mech_circuit::Qubit,
         dest: PhysQubit,
-        pinned: &HashSet<PhysQubit>,
+        pinned: &S,
     ) -> Result<(), RoutingError> {
         let from = mapping.phys(q);
-        let path = self.find_path(from, dest, pinned)?;
-        self.emit_path(pc, mapping, &path);
+        self.find_path(from, dest, pinned)?;
+        self.emit_path(pc, mapping, &self.scratch.path);
         debug_assert_eq!(mapping.phys(q), dest);
         Ok(())
     }
@@ -206,13 +240,13 @@ impl<'a> LocalRouter<'a> {
     /// # Errors
     ///
     /// [`RoutingError::Disconnected`] if no route exists.
-    pub fn execute_two_qubit(
-        &self,
+    pub fn execute_two_qubit<S: QubitSet>(
+        &mut self,
         pc: &mut PhysCircuit,
         mapping: &mut Mapping,
         a: mech_circuit::Qubit,
         b: mech_circuit::Qubit,
-        pinned: &HashSet<PhysQubit>,
+        pinned: &S,
     ) -> Result<(), RoutingError> {
         for _attempt in 0..4 {
             let pa = mapping.phys(a);
@@ -221,19 +255,20 @@ impl<'a> LocalRouter<'a> {
                 pc.two_qubit(self.topo, pa, pb);
                 return Ok(());
             }
-            let path = self.find_path(pa, pb, pinned)?;
+            self.find_path(pa, pb, pinned)?;
             // Locate the highway run (if any) immediately before `b`'s
             // position: the traveler must stop on the last data node.
-            let mut stop = path.len() - 1; // index of pb
+            let mut stop = self.scratch.path.len() - 1; // index of pb
             let mut gap = 0usize;
-            while stop > 0 && self.layout.is_highway(path[stop - 1]) {
+            while stop > 0 && self.layout.is_highway(self.scratch.path[stop - 1]) {
                 stop -= 1;
                 gap += 1;
             }
             match gap {
                 0 => {
                     // Stop adjacent to pb on plain data.
-                    self.emit_path(pc, mapping, &path[..path.len() - 1]);
+                    let end = self.scratch.path.len() - 1;
+                    self.emit_path(pc, mapping, &self.scratch.path[..end]);
                     let (pa, pb) = (mapping.phys(a), mapping.phys(b));
                     pc.two_qubit(self.topo, pa, pb);
                     return Ok(());
@@ -241,9 +276,10 @@ impl<'a> LocalRouter<'a> {
                 1 => {
                     // Terminal single-qubit highway gap: bridge through the
                     // idle ancilla.
-                    self.emit_path(pc, mapping, &path[..stop]);
+                    let via = self.scratch.path[stop];
+                    self.emit_path(pc, mapping, &self.scratch.path[..stop]);
                     let at = mapping.phys(a);
-                    pc.bridge(self.topo, at, path[stop], pb);
+                    pc.bridge(self.topo, at, via, pb);
                     return Ok(());
                 }
                 _ => {
@@ -253,12 +289,12 @@ impl<'a> LocalRouter<'a> {
                     // unless that is `a` itself (the pair is separated
                     // purely by the run), in which case any free data
                     // neighbor of `a` works as the landing spot.
-                    let near = path[stop - 1];
+                    let near = self.scratch.path[stop - 1];
                     let dest = if near != pa {
                         Some(near)
                     } else {
                         self.topo.neighbors(pa).iter().map(|l| l.to).find(|&q| {
-                            q != pb && !self.layout.is_highway(q) && !pinned.contains(&q)
+                            q != pb && !self.layout.is_highway(q) && !pinned.contains_qubit(q)
                         })
                     };
                     match dest {
@@ -278,6 +314,7 @@ mod tests {
     use super::*;
     use mech_chiplet::{ChipletSpec, CostModel, CouplingStructure};
     use mech_circuit::Qubit;
+    use std::collections::HashSet;
 
     fn setup() -> (Topology, HighwayLayout) {
         let topo = ChipletSpec::square(7, 2, 2).build();
@@ -291,7 +328,7 @@ mod tests {
         let data = hw.data_qubits();
         let mut m = Mapping::trivial(4, &data);
         let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
-        let r = LocalRouter::new(&topo, &hw);
+        let mut r = LocalRouter::new(&topo, &hw);
         let dest = *data.last().unwrap();
         r.route_to(&mut pc, &mut m, Qubit(0), dest, &HashSet::new())
             .unwrap();
@@ -306,7 +343,7 @@ mod tests {
         let data = hw.data_qubits();
         let mut m = Mapping::trivial(data.len() as u32, &data);
         let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
-        let r = LocalRouter::new(&topo, &hw);
+        let mut r = LocalRouter::new(&topo, &hw);
         // Route across the device; even if the path crosses the highway,
         // no highway position may hold a logical qubit afterwards.
         r.route_to(
@@ -328,7 +365,7 @@ mod tests {
         for s in CouplingStructure::ALL {
             let topo = ChipletSpec::new(s, 8, 2, 2).build();
             let hw = HighwayLayout::generate(&topo, 1);
-            let r = LocalRouter::new(&topo, &hw);
+            let mut r = LocalRouter::new(&topo, &hw);
             let data = hw.data_qubits();
             let first = data[0];
             for &q in data.iter().skip(1) {
@@ -341,12 +378,76 @@ mod tests {
     }
 
     #[test]
+    fn path_cost_matches_plain_dijkstra() {
+        // The A* upgrade must agree with an oracle Dijkstra on both the
+        // optimal cost and the reconstructed path, for every pair.
+        let (topo, hw) = setup();
+        let mut r = LocalRouter::new(&topo, &hw);
+        let empty = HashSet::new();
+        let data = hw.data_qubits();
+        let from = data[0];
+        for &to in data.iter().skip(1).step_by(7) {
+            r.find_path(from, to, &empty).unwrap();
+            let astar_path = r.scratch.path.clone();
+            let (cost, path) = dijkstra_oracle(&topo, &hw, from, to);
+            let astar_cost: u32 = astar_path[1..]
+                .iter()
+                .map(|&q| if hw.is_highway(q) { 2 } else { 1 })
+                .sum();
+            assert_eq!(astar_cost, cost, "cost mismatch {from}->{to}");
+            assert_eq!(astar_path, path, "path mismatch {from}->{to}");
+        }
+    }
+
+    /// Reference implementation: the seed compiler's Dijkstra with
+    /// `(cost, qubit)` pop order and strict-improvement prev tracking.
+    fn dijkstra_oracle(
+        topo: &Topology,
+        hw: &HighwayLayout,
+        from: PhysQubit,
+        to: PhysQubit,
+    ) -> (u32, Vec<PhysQubit>) {
+        let n = topo.num_qubits() as usize;
+        let mut cost = vec![u32::MAX; n];
+        let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
+        cost[from.index()] = 0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(Reverse((0u32, from)));
+        while let Some(Reverse((c, u))) = heap.pop() {
+            if c > cost[u.index()] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for link in topo.neighbors(u) {
+                let v = link.to;
+                let step = if hw.is_highway(v) { 2 } else { 1 };
+                let nc = c + step;
+                if nc < cost[v.index()] {
+                    cost[v.index()] = nc;
+                    prev[v.index()] = Some(u);
+                    heap.push(Reverse((nc, v)));
+                }
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        (cost[to.index()], path)
+    }
+
+    #[test]
     fn execute_two_qubit_ends_with_coupled_gate() {
         let (topo, hw) = setup();
         let data = hw.data_qubits();
         let mut m = Mapping::trivial(8, &data);
         let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
-        let r = LocalRouter::new(&topo, &hw);
+        let mut r = LocalRouter::new(&topo, &hw);
         r.execute_two_qubit(&mut pc, &mut m, Qubit(0), Qubit(7), &HashSet::new())
             .unwrap();
         let last = pc.ops().last().unwrap();
@@ -372,7 +473,7 @@ mod tests {
         };
         let mut m = Mapping::trivial(data.len() as u32, &data);
         let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
-        let r = LocalRouter::new(&topo, &hw);
+        let mut r = LocalRouter::new(&topo, &hw);
         r.execute_two_qubit(
             &mut pc,
             &mut m,
@@ -390,7 +491,7 @@ mod tests {
         let data = hw.data_qubits();
         let mut m = Mapping::trivial(1, &data);
         let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
-        let r = LocalRouter::new(&topo, &hw);
+        let mut r = LocalRouter::new(&topo, &hw);
         // Pin every qubit except source and destination: nothing can move.
         let dest = *data.last().unwrap();
         let pinned: HashSet<PhysQubit> = topo
@@ -409,7 +510,7 @@ mod tests {
     #[test]
     fn distance_zero_for_same_position() {
         let (topo, hw) = setup();
-        let r = LocalRouter::new(&topo, &hw);
+        let mut r = LocalRouter::new(&topo, &hw);
         let q = hw.data_qubits()[0];
         assert_eq!(r.data_distance(q, q, &HashSet::new()), Ok(0));
     }

@@ -96,11 +96,14 @@ pub fn sabre_route(
     // Per-scan caches: rebuilding them per swap would be quadratic on
     // wide all-commuting fronts (QAOA readies tens of thousands of gates).
     // `qubit_gates[q]` holds the blocked ready 2q gates touching logical q;
-    // `front`/`extended` feed the heuristic; `executed` marks cache
-    // entries already retired since the last scan.
+    // `front`/`extended` feed the heuristic; `scan_buf` and `candidates`
+    // are reusable buffers so the routing loop allocates nothing in steady
+    // state.
     let mut front: Vec<(GateId, Qubit, Qubit)> = Vec::new();
     let mut extended: Vec<(Qubit, Qubit)> = Vec::new();
     let mut qubit_gates: Vec<Vec<GateId>> = vec![Vec::new(); circuit.num_qubits() as usize];
+    let mut scan_buf: Vec<GateId> = Vec::new();
+    let mut candidates: Vec<(PhysQubit, PhysQubit)> = Vec::new();
     let mut completions_since_scan = 0usize;
     let mut need_scan = true;
 
@@ -111,27 +114,31 @@ pub fn sabre_route(
             let mut progressed = true;
             while progressed {
                 progressed = false;
-                for id in sched.ready() {
+                // Free gates drain straight off the partitioned front.
+                while let Some(id) = sched.pop_ready_one_qubit() {
                     match circuit.gates()[id.index()] {
-                        Gate::One { q, .. } => {
-                            pc.one_qubit(mapping.phys(q));
-                            sched.complete(id);
-                            progressed = true;
-                        }
+                        Gate::One { q, .. } => pc.one_qubit(mapping.phys(q)),
                         Gate::Measure { q } => {
                             pc.measure(mapping.phys(q));
-                            sched.complete(id);
-                            progressed = true;
                         }
-                        Gate::Two { a, b, .. } => {
-                            let (pa, pb) = (mapping.phys(a), mapping.phys(b));
-                            if topo.are_coupled(pa, pb) {
-                                pc.two_qubit(topo, pa, pb);
-                                sched.complete(id);
-                                progressed = true;
-                                stagnant = 0;
-                            }
-                        }
+                        Gate::Two { .. } => unreachable!("front is partitioned by kind"),
+                    }
+                    progressed = true;
+                }
+                // Coupled two-qubit gates execute in ascending id order;
+                // anything they unlock is handled by the next sweep.
+                scan_buf.clear();
+                scan_buf.extend(sched.ready_two_qubit());
+                for &id in &scan_buf {
+                    let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
+                        unreachable!("front is partitioned by kind");
+                    };
+                    let (pa, pb) = (mapping.phys(a), mapping.phys(b));
+                    if topo.are_coupled(pa, pb) {
+                        pc.two_qubit(topo, pa, pb);
+                        sched.complete(id);
+                        progressed = true;
+                        stagnant = 0;
                     }
                 }
             }
@@ -141,14 +148,15 @@ pub fn sabre_route(
 
             front.clear();
             qubit_gates.iter_mut().for_each(Vec::clear);
-            for id in sched.ready() {
-                if let Gate::Two { a, b, .. } = circuit.gates()[id.index()] {
-                    if front.len() < config.front_cap {
-                        front.push((id, a, b));
-                    }
-                    qubit_gates[a.index()].push(id);
-                    qubit_gates[b.index()].push(id);
+            for id in sched.ready_two_qubit() {
+                let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
+                    unreachable!("front is partitioned by kind");
+                };
+                if front.len() < config.front_cap {
+                    front.push((id, a, b));
                 }
+                qubit_gates[a.index()].push(id);
+                qubit_gates[b.index()].push(id);
             }
             debug_assert!(!front.is_empty(), "blocked with no two-qubit gate in front");
 
@@ -187,7 +195,7 @@ pub fn sabre_route(
         }
 
         // Candidate swaps: links touching any front-layer qubit.
-        let mut candidates: Vec<(PhysQubit, PhysQubit)> = Vec::new();
+        candidates.clear();
         for &(_, a, b) in &front {
             for q in [mapping.phys(a), mapping.phys(b)] {
                 for link in topo.neighbors(q) {
@@ -254,8 +262,7 @@ pub fn sabre_route(
             let Some(lq) = mapping.logical(p) else {
                 continue;
             };
-            let ids: Vec<GateId> = qubit_gates[lq.index()].clone();
-            for id in ids {
+            for &id in &qubit_gates[lq.index()] {
                 if sched.is_completed(id) || !sched.is_gate_ready(id) {
                     continue;
                 }

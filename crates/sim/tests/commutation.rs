@@ -130,7 +130,7 @@ proptest! {
         let mut sched = dag.schedule();
         let mut state = State::zero(N);
         while !sched.is_finished() {
-            let ready = sched.ready();
+            let ready = sched.ready_snapshot();
             let id = *ready.last().unwrap();
             apply(&mut state, &c.gates()[id.index()]);
             sched.complete(id);

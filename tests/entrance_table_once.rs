@@ -1,0 +1,49 @@
+//! Verifies the compiler builds its entrance tables once per compilation.
+//!
+//! Group assembly used to clone entrance-candidate vectors per multi-target
+//! gate (and a lazy cache could silently regress to re-searching). The
+//! compiler now builds one eager [`mech_highway::EntranceTable`] up front
+//! and borrows from it, so the number of BFS entrance searches per compile
+//! must equal the number of data qubits — independent of how many groups
+//! the program forms.
+//!
+//! This file deliberately holds a single test: the search counter is
+//! process-global, and cargo gives every integration-test file its own
+//! process.
+
+use mech::{CompilerConfig, MechCompiler};
+use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech_circuit::benchmarks::Benchmark;
+use mech_highway::entrance_search_count;
+
+#[test]
+fn entrance_tables_are_built_once_per_compile() {
+    let topo = ChipletSpec::square(6, 2, 2).build();
+    let layout = HighwayLayout::generate(&topo, 1);
+    let data_qubits = layout.num_data_qubits() as u64;
+    let compiler = MechCompiler::new(&topo, &layout, CompilerConfig::default());
+    // QAOA forms many multi-target groups, each touching many entrance
+    // lookups — a per-group (or per-component) search would multiply the
+    // counter far past the table-build cost.
+    let program = Benchmark::Qaoa.generate(data_qubits as u32, 7);
+
+    let before = entrance_search_count();
+    let r = compiler.compile(&program).expect("compiles");
+    let after = entrance_search_count();
+
+    assert!(
+        r.shuttle_stats.highway_gates > 10,
+        "program must form plenty of groups (got {})",
+        r.shuttle_stats.highway_gates
+    );
+    assert_eq!(
+        after - before,
+        data_qubits,
+        "expected exactly one entrance search per data qubit per compile"
+    );
+
+    // A second compile builds a second table — still one search per data
+    // qubit, nothing cached across compilations to go stale.
+    compiler.compile(&program).expect("compiles");
+    assert_eq!(entrance_search_count() - after, data_qubits);
+}

@@ -1,0 +1,164 @@
+//! Golden-schedule regression tests.
+//!
+//! The MECH compiler must be *bit-deterministic*: the paper-figure binaries
+//! depend on reproducible schedules, and performance refactors of the hot
+//! path (incremental front layer, routing scratch, entrance tables) must
+//! not change compiled output. Each test compiles a fixed seeded program on
+//! a fixed device and compares an order-insensitive fingerprint — depth,
+//! operation counts, off-highway gate count, shuttle statistics and the
+//! full per-shuttle timeline — against a golden value captured from the
+//! pre-refactor compiler.
+//!
+//! To regenerate after an *intentional* schedule change, run
+//! `MECH_GOLDEN_PRINT=1 cargo test --test golden_schedules -- --nocapture`
+//! and paste the printed fingerprints below.
+
+use mech::{CompilerConfig, MechCompiler};
+use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech_circuit::benchmarks::{random_circuit, Benchmark};
+use mech_circuit::Circuit;
+
+/// Renders everything schedule-relevant about a compile result into one
+/// comparable string. Deliberately excludes the raw op list: op *emission
+/// order* between commuting free one-qubit gates is not part of the
+/// schedule contract, while every timed quantity below is.
+fn fingerprint(device: ChipletSpec, density: u32, program: &Circuit) -> String {
+    let topo = device.build();
+    let layout = HighwayLayout::generate(&topo, density);
+    let compiler = MechCompiler::new(&topo, &layout, CompilerConfig::default());
+    let r = compiler.compile(program).expect("golden program compiles");
+    let c = r.circuit.counts();
+    let mut fp = format!(
+        "depth={} on={} cross={} meas={} one={} regular={} shuttles={} hwgates={} comps={} trace=",
+        r.circuit.depth(),
+        c.on_chip_cnots,
+        c.cross_chip_cnots,
+        c.measurements,
+        c.one_qubit,
+        r.regular_gates,
+        r.shuttle_stats.shuttles,
+        r.shuttle_stats.highway_gates,
+        r.shuttle_stats.components,
+    );
+    for t in &r.shuttle_trace {
+        fp.push_str(&format!(
+            "({},{},{},{})",
+            t.closed_at, t.groups, t.components, t.claimed_qubits
+        ));
+    }
+    fp
+}
+
+/// Asserts the fingerprint matches, or prints it when regenerating.
+fn check(name: &str, device: ChipletSpec, density: u32, program: &Circuit, golden: &str) {
+    let actual = fingerprint(device, density, program);
+    if std::env::var_os("MECH_GOLDEN_PRINT").is_some() {
+        println!("GOLDEN {name} = {actual}");
+        return;
+    }
+    assert_eq!(
+        actual, golden,
+        "schedule for {name} diverged from the golden snapshot"
+    );
+}
+
+fn program_for(family: Benchmark, layout_qubits: u32) -> Circuit {
+    family.generate(layout_qubits, 2024)
+}
+
+fn data_width(device: ChipletSpec, density: u32) -> u32 {
+    let topo = device.build();
+    HighwayLayout::generate(&topo, density).num_data_qubits()
+}
+
+#[test]
+fn golden_qft_6x6_2x2() {
+    let dev = ChipletSpec::square(6, 2, 2);
+    let n = data_width(dev, 1);
+    check(
+        "qft_6x6_2x2",
+        dev,
+        1,
+        &program_for(Benchmark::Qft, n),
+        GOLDEN_QFT,
+    );
+}
+
+#[test]
+fn golden_qaoa_6x6_2x2() {
+    let dev = ChipletSpec::square(6, 2, 2);
+    let n = data_width(dev, 1);
+    check(
+        "qaoa_6x6_2x2",
+        dev,
+        1,
+        &program_for(Benchmark::Qaoa, n),
+        GOLDEN_QAOA,
+    );
+}
+
+#[test]
+fn golden_vqe_6x6_2x2() {
+    let dev = ChipletSpec::square(6, 2, 2);
+    let n = data_width(dev, 1);
+    check(
+        "vqe_6x6_2x2",
+        dev,
+        1,
+        &program_for(Benchmark::Vqe, n),
+        GOLDEN_VQE,
+    );
+}
+
+#[test]
+fn golden_bv_6x6_2x2() {
+    let dev = ChipletSpec::square(6, 2, 2);
+    let n = data_width(dev, 1);
+    check(
+        "bv_6x6_2x2",
+        dev,
+        1,
+        &program_for(Benchmark::Bv, n),
+        GOLDEN_BV,
+    );
+}
+
+#[test]
+fn golden_random_6x6_2x2() {
+    let dev = ChipletSpec::square(6, 2, 2);
+    let n = data_width(dev, 1).min(40);
+    check(
+        "random_6x6_2x2",
+        dev,
+        1,
+        &random_circuit(n, 400, 77),
+        GOLDEN_RANDOM,
+    );
+}
+
+#[test]
+fn golden_qft_dense_highway_7x7_1x2() {
+    // A second device shape and a denser highway exercise different claim
+    // geometry and entrance tables.
+    let dev = ChipletSpec::square(7, 1, 2);
+    let n = data_width(dev, 2);
+    check(
+        "qft_7x7_1x2_d2",
+        dev,
+        2,
+        &program_for(Benchmark::Qft, n),
+        GOLDEN_QFT_DENSE,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Golden fingerprints, captured from the seed compiler (PR 1 state) before
+// the hot-path refactor. `MECH_GOLDEN_PRINT=1` regenerates.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_QFT: &str = "depth=3079 on=19975 cross=859 meas=4097 one=21027 regular=3 shuttles=105 hwgates=105 comps=5775 trace=(42,1,107,36)(78,1,106,36)(120,1,105,36)(162,1,104,36)(204,1,103,36)(243,1,102,36)(286,1,101,36)(328,1,100,36)(359,1,99,36)(393,1,98,36)(429,1,97,36)(468,1,96,36)(500,1,95,36)(533,1,94,36)(567,1,93,36)(598,1,92,36)(631,1,91,36)(670,1,90,36)(702,1,89,36)(732,1,88,36)(766,1,87,36)(799,1,86,36)(832,1,85,36)(871,1,84,36)(903,1,83,36)(936,1,82,36)(968,1,81,36)(1001,1,80,36)(1032,1,79,36)(1068,1,78,36)(1102,1,77,34)(1132,1,76,33)(1169,1,75,32)(1203,1,74,32)(1236,1,73,32)(1275,1,72,32)(1309,1,71,32)(1341,1,70,32)(1377,1,69,32)(1411,1,68,32)(1446,1,67,32)(1485,1,66,32)(1517,1,65,32)(1547,1,64,32)(1578,1,63,32)(1611,1,62,32)(1644,1,61,32)(1683,1,60,32)(1712,1,59,32)(1745,1,58,32)(1776,1,57,32)(1806,1,56,32)(1836,1,55,32)(1872,1,54,31)(1904,1,53,30)(1937,1,52,25)(1968,1,51,30)(1998,1,50,30)(2028,1,49,30)(2064,1,48,30)(2095,1,47,32)(2119,1,46,29)(2146,1,45,32)(2175,1,44,29)(2203,1,43,29)(2227,1,42,29)(2250,1,41,32)(2274,1,40,28)(2293,1,39,31)(2315,1,38,27)(2347,1,37,27)(2371,1,36,31)(2394,1,35,31)(2414,1,34,31)(2434,1,33,31)(2455,1,32,26)(2476,1,31,26)(2500,1,30,26)(2520,1,29,26)(2544,1,28,25)(2564,1,27,25)(2586,1,26,21)(2610,1,25,21)(2630,1,24,21)(2654,1,23,16)(2674,1,22,16)(2704,1,21,14)(2735,1,20,14)(2757,1,19,14)(2779,1,18,14)(2801,1,17,14)(2822,1,16,14)(2845,1,15,14)(2865,1,14,14)(2888,1,13,14)(2907,1,12,14)(2927,1,11,14)(2944,1,10,14)(2961,1,9,13)(2982,1,8,13)(2999,1,7,13)(3016,1,6,11)(3034,1,5,8)(3051,1,4,8)(3066,1,3,5)";
+const GOLDEN_QAOA: &str = "depth=2431 on=12883 cross=777 meas=3785 one=14624 regular=24 shuttles=90 hwgates=124 comps=2865 trace=(33,1,68,34)(132,1,65,36)(192,1,63,34)(224,1,62,35)(259,1,60,35)(292,1,59,36)(325,1,58,35)(357,1,56,35)(389,1,56,35)(426,1,56,35)(465,1,55,33)(496,1,55,35)(525,1,53,35)(562,2,57,36)(589,1,52,35)(617,1,51,35)(642,1,50,36)(695,2,57,35)(727,1,49,35)(750,1,47,36)(770,2,50,35)(797,1,46,36)(826,1,45,36)(858,1,44,35)(886,1,43,36)(913,1,43,33)(938,1,42,34)(967,1,41,33)(990,1,41,33)(1009,1,40,35)(1033,1,39,34)(1068,2,42,35)(1107,2,43,36)(1134,1,37,36)(1159,1,37,35)(1181,1,36,33)(1201,1,35,36)(1225,1,34,34)(1253,1,34,31)(1277,1,34,33)(1297,2,35,35)(1319,1,32,35)(1354,2,33,33)(1376,1,31,36)(1396,2,32,35)(1418,1,29,34)(1460,3,40,36)(1483,1,27,35)(1507,1,26,35)(1541,2,29,33)(1559,1,26,33)(1587,1,25,32)(1610,1,25,31)(1639,2,25,32)(1673,2,26,28)(1692,1,23,32)(1718,2,24,34)(1734,1,22,34)(1753,1,21,35)(1773,2,23,33)(1791,1,20,31)(1816,2,20,30)(1836,1,18,30)(1858,1,17,32)(1878,1,17,28)(1899,3,23,36)(1916,1,16,29)(1941,2,20,29)(1969,3,18,32)(2028,1,14,26)(2067,1,14,24)(2085,3,17,33)(2110,1,13,27)(2129,2,13,32)(2166,1,12,26)(2181,1,11,30)(2198,4,14,29)(2216,2,12,27)(2232,1,10,26)(2264,2,9,20)(2282,1,8,27)(2300,2,9,22)(2315,1,7,16)(2328,1,7,21)(2342,1,6,23)(2362,2,6,25)(2375,1,5,20)(2403,3,9,25)(2416,2,7,25)(2429,1,4,15)";
+const GOLDEN_VQE: &str = "depth=3084 on=19981 cross=859 meas=4097 one=21135 regular=3 shuttles=105 hwgates=105 comps=5775 trace=(42,1,107,36)(78,1,106,36)(120,1,105,36)(162,1,104,36)(204,1,103,36)(243,1,102,36)(286,1,101,36)(328,1,100,36)(359,1,99,36)(393,1,98,36)(429,1,97,36)(468,1,96,36)(500,1,95,36)(533,1,94,36)(567,1,93,36)(598,1,92,36)(631,1,91,36)(670,1,90,36)(702,1,89,36)(732,1,88,36)(766,1,87,36)(799,1,86,36)(832,1,85,36)(871,1,84,36)(903,1,83,36)(936,1,82,36)(968,1,81,36)(1001,1,80,36)(1032,1,79,36)(1068,1,78,36)(1102,1,77,34)(1132,1,76,33)(1169,1,75,32)(1203,1,74,32)(1236,1,73,32)(1275,1,72,32)(1309,1,71,32)(1341,1,70,32)(1377,1,69,32)(1411,1,68,32)(1446,1,67,32)(1485,1,66,32)(1517,1,65,32)(1547,1,64,32)(1578,1,63,32)(1611,1,62,32)(1644,1,61,32)(1683,1,60,32)(1712,1,59,32)(1745,1,58,32)(1776,1,57,32)(1806,1,56,32)(1836,1,55,32)(1872,1,54,31)(1904,1,53,30)(1937,1,52,25)(1968,1,51,30)(1998,1,50,30)(2028,1,49,30)(2064,1,48,30)(2095,1,47,32)(2119,1,46,29)(2146,1,45,32)(2175,1,44,29)(2203,1,43,29)(2227,1,42,29)(2250,1,41,32)(2274,1,40,28)(2293,1,39,31)(2315,1,38,27)(2347,1,37,27)(2371,1,36,31)(2394,1,35,31)(2414,1,34,31)(2434,1,33,31)(2455,1,32,26)(2476,1,31,26)(2500,1,30,26)(2520,1,29,26)(2544,1,28,25)(2564,1,27,25)(2586,1,26,21)(2610,1,25,21)(2630,1,24,21)(2654,1,23,16)(2674,1,22,16)(2704,1,21,14)(2735,1,20,14)(2757,1,19,14)(2779,1,18,14)(2801,1,17,14)(2822,1,16,14)(2845,1,15,14)(2865,1,14,14)(2888,1,13,14)(2907,1,12,14)(2927,1,11,14)(2944,1,10,14)(2961,1,9,13)(2982,1,8,13)(2999,1,7,13)(3016,1,6,11)(3034,1,5,8)(3051,1,4,8)(3066,1,3,5)";
+const GOLDEN_BV: &str = "depth=25 on=198 cross=10 meas=154 one=433 regular=0 shuttles=1 hwgates=1 comps=53 trace=(25,1,53,35)";
+const GOLDEN_RANDOM: &str = "depth=1414 on=3233 cross=300 meas=276 one=859 regular=160 shuttles=15 hwgates=26 comps=68 trace=(20,2,7,12)(216,1,4,10)(241,1,4,12)(282,2,5,23)(294,1,3,11)(453,2,5,12)(617,2,4,11)(744,3,6,16)(785,2,4,26)(801,1,3,10)(981,3,6,14)(1125,1,3,11)(1285,2,5,11)(1304,2,5,12)(1329,1,4,10)";
+const GOLDEN_QFT_DENSE: &str = "depth=807 on=3742 cross=115 meas=2052 one=7231 regular=3 shuttles=47 hwgates=47 comps=1222 trace=(23,1,49,45)(41,1,48,45)(59,1,47,45)(80,1,46,46)(97,1,45,45)(115,1,44,45)(134,1,43,45)(152,1,42,45)(169,1,41,44)(187,1,40,46)(204,1,39,44)(220,1,38,43)(236,1,37,43)(252,1,36,43)(271,1,35,42)(288,1,34,42)(304,1,33,40)(320,1,32,41)(337,1,31,39)(353,1,30,40)(370,1,29,37)(386,1,28,36)(402,1,27,35)(419,1,26,36)(436,1,25,35)(453,1,24,36)(469,1,23,35)(485,1,22,36)(502,1,21,35)(518,1,20,36)(534,1,19,22)(550,1,18,22)(565,1,17,22)(581,1,16,22)(597,1,15,22)(614,1,14,22)(629,1,13,22)(644,1,12,22)(660,1,11,22)(679,1,10,22)(694,1,9,20)(709,1,8,20)(724,1,7,18)(743,1,6,14)(756,1,5,11)(768,1,4,11)(779,1,3,9)";

@@ -116,7 +116,7 @@ proptest! {
         let program = random_circuit(12, gates, seed);
         let dag = CommutationDag::new(&program);
         let sched = dag.schedule();
-        let ready: Vec<GateId> = sched.ready();
+        let ready: Vec<GateId> = sched.ready_snapshot();
         let (groups, rest) = aggregate_controlled(&program, &ready, AggregateOptions::default());
 
         let mut seen = std::collections::HashSet::new();
@@ -145,7 +145,7 @@ proptest! {
         let mut sched = dag.schedule();
         let mut steps = 0usize;
         while !sched.is_finished() {
-            let ready = sched.ready();
+            let ready = sched.ready_snapshot();
             prop_assert!(!ready.is_empty());
             for (i, &a) in ready.iter().enumerate() {
                 for &b in &ready[i + 1..] {
