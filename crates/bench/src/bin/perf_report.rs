@@ -7,41 +7,30 @@
 //!
 //! ```text
 //! cargo run --release -p mech-bench --bin perf_report -- \
-//!     [--quick] [--label <name>] [--out <path>] [--iters <k>]
+//!     [--quick] [--label <name>] [--out <path>] [--iters <k>] [--threads <t>]
 //! ```
 //!
 //! `--quick` shrinks the device for a CI smoke run; `--label` names the run
 //! record (e.g. `pre-refactor`); `--iters` controls how many timed
-//! repetitions each cell gets (the minimum is reported). Every record holds
-//! one entry per (family, compiler) with the schema
-//! `{family, compiler, qubits, gates, ms, gates_per_sec}`.
+//! repetitions each cell gets (the minimum is reported); `--threads` sets
+//! the MECH compiler's worker-thread count (compiled schedules are
+//! bit-identical at every value — only wall-clock changes). Every record
+//! holds the thread count plus one entry per (family, compiler) with the
+//! schema `{family, compiler, qubits, gates, ms, gates_per_sec}`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use mech::{BaselineCompiler, CompilerConfig, MechCompiler};
+use mech_bench::programs::TIMED_FAMILIES;
 use mech_chiplet::{ChipletSpec, HighwayLayout};
-use mech_circuit::benchmarks::{random_circuit, Benchmark};
-use mech_circuit::Circuit;
-
-type FamilyGen = fn(u32) -> Circuit;
-
-/// The six timed program families: the paper's four plus two random-circuit
-/// densities (sparse ≈ routing-bound, dense ≈ aggregation-bound).
-const FAMILIES: [(&str, FamilyGen); 6] = [
-    ("qft", |n| Benchmark::Qft.generate(n, 2024)),
-    ("qaoa", |n| Benchmark::Qaoa.generate(n, 2024)),
-    ("vqe", |n| Benchmark::Vqe.generate(n, 2024)),
-    ("bv", |n| Benchmark::Bv.generate(n, 2024)),
-    ("rand-sparse", |n| random_circuit(n, 4 * n as usize, 11)),
-    ("rand-dense", |n| random_circuit(n, 12 * n as usize, 12)),
-];
 
 struct Args {
     quick: bool,
     label: String,
     out: String,
     iters: u32,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -50,6 +39,7 @@ fn parse_args() -> Args {
         label: "run".to_string(),
         out: "BENCH_compile.json".to_string(),
         iters: 2,
+        threads: CompilerConfig::default().threads,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -64,9 +54,16 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--iters takes a number")
             }
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads takes a number")
+            }
             other => {
                 eprintln!(
-                    "unknown argument {other}; supported: --quick --label <s> --out <path> --iters <k>"
+                    "unknown argument {other}; supported: --quick --label <s> --out <path> --iters <k> --threads <t>"
                 );
                 std::process::exit(2);
             }
@@ -113,15 +110,19 @@ fn main() {
     };
     let topo = spec.build();
     let layout = HighwayLayout::generate(&topo, 1);
-    let config = CompilerConfig::default();
+    let config = CompilerConfig {
+        threads: args.threads,
+        ..CompilerConfig::default()
+    };
     let n = layout.num_data_qubits();
 
     println!(
-        "perf_report: {} device qubits, {} data qubits, label={:?}, iters={}",
+        "perf_report: {} device qubits, {} data qubits, label={:?}, iters={}, threads={}",
         topo.num_qubits(),
         n,
         args.label,
-        args.iters
+        args.iters,
+        args.threads
     );
     println!(
         "{:<12} {:>7} {:>8} {:>12} {:>14} {:>12} {:>14}",
@@ -129,7 +130,7 @@ fn main() {
     );
 
     let mut cells: Vec<Cell> = Vec::new();
-    for (family, gen) in FAMILIES {
+    for (family, gen) in TIMED_FAMILIES {
         let program = gen(n);
         let gates = program.len();
 
@@ -181,10 +182,11 @@ fn render_record(args: &Args, cells: &[Cell]) -> String {
     let mut s = String::new();
     let _ = write!(
         s,
-        "  {{\"label\": \"{}\", \"mode\": \"{}\", \"iters\": {}, \"results\": [",
+        "  {{\"label\": \"{}\", \"mode\": \"{}\", \"iters\": {}, \"threads\": {}, \"results\": [",
         json_escape(&args.label),
         if args.quick { "quick" } else { "full" },
-        args.iters
+        args.iters,
+        args.threads
     );
     for (i, c) in cells.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };

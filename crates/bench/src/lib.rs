@@ -13,6 +13,74 @@ use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
 use mech_chiplet::{ChipletSpec, HighwayLayout};
 use mech_circuit::benchmarks::Benchmark;
 
+pub mod programs {
+    //! The canonical seeded benchmark programs.
+    //!
+    //! Every harness that times or regression-tests the compilers on "the
+    //! QFT program" must mean the *same* circuit, or numbers stop being
+    //! comparable across binaries and PRs. This module is the single
+    //! source of those programs: `perf_report` times them, the
+    //! golden-schedule tests fingerprint them. Change a generator or a
+    //! seed here and every golden fingerprint is invalidated — regenerate
+    //! them (see `tests/golden_schedules.rs`) in the same change.
+
+    use mech_circuit::benchmarks::{random_circuit, Benchmark};
+    use mech_circuit::Circuit;
+
+    /// Seed for the four paper families.
+    pub const FAMILY_SEED: u64 = 2024;
+
+    /// Quantum Fourier transform on `n` qubits.
+    pub fn qft(n: u32) -> Circuit {
+        Benchmark::Qft.generate(n, FAMILY_SEED)
+    }
+
+    /// QAOA MaxCut layer on `n` qubits.
+    pub fn qaoa(n: u32) -> Circuit {
+        Benchmark::Qaoa.generate(n, FAMILY_SEED)
+    }
+
+    /// Hardware-efficient VQE ansatz on `n` qubits.
+    pub fn vqe(n: u32) -> Circuit {
+        Benchmark::Vqe.generate(n, FAMILY_SEED)
+    }
+
+    /// Bernstein–Vazirani oracle on `n` qubits.
+    pub fn bv(n: u32) -> Circuit {
+        Benchmark::Bv.generate(n, FAMILY_SEED)
+    }
+
+    /// Sparse random circuit (`4n` gates): routing-bound.
+    pub fn rand_sparse(n: u32) -> Circuit {
+        random_circuit(n, 4 * n as usize, 11)
+    }
+
+    /// Dense random circuit (`12n` gates): aggregation-bound.
+    pub fn rand_dense(n: u32) -> Circuit {
+        random_circuit(n, 12 * n as usize, 12)
+    }
+
+    /// Fixed-size random program used by the golden-schedule regression
+    /// tests (width-capped, 400 gates).
+    pub fn golden_random(n: u32) -> Circuit {
+        random_circuit(n.min(40), 400, 77)
+    }
+
+    /// A named family generator: the program for a given width.
+    pub type FamilyGen = fn(u32) -> Circuit;
+
+    /// The six timed program families of `perf_report`: the paper's four
+    /// plus the two random-circuit densities.
+    pub const TIMED_FAMILIES: [(&str, FamilyGen); 6] = [
+        ("qft", qft),
+        ("qaoa", qaoa),
+        ("vqe", vqe),
+        ("bv", bv),
+        ("rand-sparse", rand_sparse),
+        ("rand-dense", rand_dense),
+    ];
+}
+
 /// Everything measured for one (architecture, program) cell.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {

@@ -82,11 +82,328 @@ impl Default for AggregateOptions {
     }
 }
 
+/// One bucket membership of an aggregable gate: which hub it can join, how
+/// it couples there, and which operand would receive the highway operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BucketSlot {
+    hub: Qubit,
+    other: Qubit,
+    kind: GroupKind,
+}
+
+/// Incrementally maintained aggregation candidates over a ready front.
+///
+/// The compiler calls the greedy grouping once per round, but between
+/// consecutive rounds only a handful of gates enter or leave the ready
+/// front — rebuilding the per-hub candidate buckets from the whole front
+/// every time is the dominant compile cost on all-commuting programs
+/// (QAOA readies tens of thousands of gates at once). This structure keeps
+/// the buckets alive across rounds:
+///
+/// * [`AggregationFront::insert`] / [`AggregationFront::remove`] maintain,
+///   per `(hub, kind)`, a **sorted** list of member gates, plus sorted
+///   lists of all aggregable and all non-aggregable two-qubit gates in the
+///   front;
+/// * [`AggregationFront::carve`] runs the greedy grouping over the live
+///   buckets without touching gates that never changed.
+///
+/// # Invariants
+///
+/// * Every bucket, and the `agg_ready` / `other_ready` mirrors, are sorted
+///   ascending by [`GateId`] — the same order the per-round rebuild used to
+///   produce by scanning the ready set in order, so carving is
+///   **bit-identical** to [`aggregate_controlled`] on the same front.
+/// * A gate is a member of either zero buckets or exactly the buckets its
+///   operands admit (`in_front` tracks which); `insert` and `remove` are
+///   idempotent, so suspending a gate (in-flight on the highway) and later
+///   completing it is safe.
+/// * Carve scratch (`assigned`/`seen` stamps) is generation-stamped and
+///   never cleared, so a carve allocates nothing in steady state.
+#[derive(Debug, Clone)]
+pub struct AggregationFront {
+    /// slots[g] = bucket memberships of gate g (`None` for one-qubit,
+    /// measurement and non-controlled two-qubit gates).
+    slots: Vec<Option<[BucketSlot; 2]>>,
+    /// two_qubit[g] = whether g is any two-qubit gate.
+    two_qubit: Vec<bool>,
+    /// in_front[g] = g is currently tracked (ready and not suspended).
+    in_front: Vec<bool>,
+    plain: Vec<Vec<GateId>>,
+    conjugated: Vec<Vec<GateId>>,
+    /// All tracked aggregable gates, ascending.
+    agg_ready: Vec<GateId>,
+    /// All tracked non-aggregable two-qubit gates (SWAPs), ascending.
+    other_ready: Vec<GateId>,
+    // --- carve scratch, generation-stamped ---
+    order: Vec<(Qubit, GroupKind)>,
+    assigned: Vec<u64>,
+    seen: Vec<u64>,
+    stamp: u64,
+    carve_stamp: u64,
+    comp_pool: Vec<Vec<TargetComponent>>,
+}
+
+impl AggregationFront {
+    /// Creates an empty front for `circuit`, precomputing every gate's
+    /// bucket memberships.
+    pub fn new(circuit: &Circuit) -> Self {
+        let nq = circuit.num_qubits() as usize;
+        let mut slots = Vec::with_capacity(circuit.len());
+        let mut two_qubit = Vec::with_capacity(circuit.len());
+        for gate in circuit.gates() {
+            two_qubit.push(gate.is_two_qubit());
+            slots.push(match *gate {
+                Gate::Two { kind, a, b, .. } if kind.is_controlled() => Some(match kind {
+                    TwoQubitKind::Cnot => [
+                        BucketSlot {
+                            hub: a,
+                            other: b,
+                            kind: GroupKind::Plain,
+                        },
+                        BucketSlot {
+                            hub: b,
+                            other: a,
+                            kind: GroupKind::Conjugated,
+                        },
+                    ],
+                    TwoQubitKind::Cz | TwoQubitKind::Cphase | TwoQubitKind::Rzz => [
+                        BucketSlot {
+                            hub: a,
+                            other: b,
+                            kind: GroupKind::Plain,
+                        },
+                        BucketSlot {
+                            hub: b,
+                            other: a,
+                            kind: GroupKind::Plain,
+                        },
+                    ],
+                    TwoQubitKind::Swap => unreachable!("swap is not controlled"),
+                }),
+                _ => None,
+            });
+        }
+        AggregationFront {
+            slots,
+            two_qubit,
+            in_front: vec![false; circuit.len()],
+            plain: vec![Vec::new(); nq],
+            conjugated: vec![Vec::new(); nq],
+            agg_ready: Vec::new(),
+            other_ready: Vec::new(),
+            order: Vec::new(),
+            assigned: vec![0; circuit.len()],
+            seen: vec![0; nq],
+            stamp: 0,
+            carve_stamp: 0,
+            comp_pool: Vec::new(),
+        }
+    }
+
+    fn bucket_mut(&mut self, hub: Qubit, kind: GroupKind) -> &mut Vec<GateId> {
+        match kind {
+            GroupKind::Plain => &mut self.plain[hub.index()],
+            GroupKind::Conjugated => &mut self.conjugated[hub.index()],
+        }
+    }
+
+    fn bucket(&self, hub: Qubit, kind: GroupKind) -> &Vec<GateId> {
+        match kind {
+            GroupKind::Plain => &self.plain[hub.index()],
+            GroupKind::Conjugated => &self.conjugated[hub.index()],
+        }
+    }
+
+    fn sorted_insert(list: &mut Vec<GateId>, id: GateId) {
+        let pos = list.partition_point(|&g| g < id);
+        list.insert(pos, id);
+    }
+
+    fn sorted_remove(list: &mut Vec<GateId>, id: GateId) {
+        let pos = list.partition_point(|&g| g < id);
+        debug_assert_eq!(list.get(pos), Some(&id), "gate {id:?} missing from list");
+        list.remove(pos);
+    }
+
+    /// Starts tracking a ready two-qubit gate. One-qubit gates and
+    /// measurements are ignored; re-inserting a tracked gate is a no-op.
+    pub fn insert(&mut self, id: GateId) {
+        if !self.two_qubit[id.index()] || self.in_front[id.index()] {
+            return;
+        }
+        self.in_front[id.index()] = true;
+        match self.slots[id.index()] {
+            Some(slots) => {
+                for s in slots {
+                    Self::sorted_insert(self.bucket_mut(s.hub, s.kind), id);
+                }
+                Self::sorted_insert(&mut self.agg_ready, id);
+            }
+            None => Self::sorted_insert(&mut self.other_ready, id),
+        }
+    }
+
+    /// Stops tracking a gate (completed, or suspended while in flight on
+    /// the highway). Removing an untracked gate is a no-op.
+    pub fn remove(&mut self, id: GateId) {
+        if !self.two_qubit[id.index()] || !self.in_front[id.index()] {
+            return;
+        }
+        self.in_front[id.index()] = false;
+        match self.slots[id.index()] {
+            Some(slots) => {
+                for s in slots {
+                    Self::sorted_remove(self.bucket_mut(s.hub, s.kind), id);
+                }
+                Self::sorted_remove(&mut self.agg_ready, id);
+            }
+            None => Self::sorted_remove(&mut self.other_ready, id),
+        }
+    }
+
+    /// Number of tracked gates (aggregable + regular two-qubit).
+    pub fn len(&self) -> usize {
+        self.agg_ready.len() + self.other_ready.len()
+    }
+
+    /// `true` when no gate is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.agg_ready.is_empty() && self.other_ready.is_empty()
+    }
+
+    /// Greedily groups the tracked gates into multi-target gates, exactly
+    /// as [`aggregate_controlled`] would on the same front: groups come out
+    /// largest first, `leftovers` holds every tracked two-qubit gate that
+    /// joined no group, ascending.
+    ///
+    /// `groups` from the previous round may be passed back in; their
+    /// component buffers are recycled, so steady-state carving allocates
+    /// nothing.
+    pub fn carve(
+        &mut self,
+        options: AggregateOptions,
+        groups: &mut Vec<MultiTargetGate>,
+        leftovers: &mut Vec<GateId>,
+    ) {
+        let min = options.min_components.max(2);
+        for mut g in groups.drain(..) {
+            g.components.clear();
+            self.comp_pool.push(g.components);
+        }
+        leftovers.clear();
+        self.carve_stamp += 1;
+        let carve_stamp = self.carve_stamp;
+
+        // Greedy by current bucket size: visit hubs from the most to the
+        // least populous and carve each one's group from the
+        // still-unassigned gates. (A single pass — re-counting after every
+        // pick would be quadratic on all-commuting fronts.)
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        for q in 0..self.plain.len() as u32 {
+            if !self.plain[q as usize].is_empty() {
+                order.push((Qubit(q), GroupKind::Plain));
+            }
+            if !self.conjugated[q as usize].is_empty() {
+                order.push((Qubit(q), GroupKind::Conjugated));
+            }
+        }
+        order.sort_by_key(|&(hub, kind)| {
+            (
+                std::cmp::Reverse(self.bucket(hub, kind).len()),
+                hub,
+                matches!(kind, GroupKind::Conjugated),
+            )
+        });
+
+        let Self {
+            plain,
+            conjugated,
+            slots,
+            assigned,
+            seen,
+            stamp,
+            comp_pool,
+            ..
+        } = self;
+        for &(hub, kind) in &order {
+            // A fresh seen-stamp per group: duplicate pairs keep one
+            // component.
+            *stamp += 1;
+            let group_stamp = *stamp;
+            let mut comps = comp_pool.pop().unwrap_or_default();
+            debug_assert!(comps.is_empty());
+            let bucket = match kind {
+                GroupKind::Plain => &plain[hub.index()],
+                GroupKind::Conjugated => &conjugated[hub.index()],
+            };
+            for &id in bucket {
+                if assigned[id.index()] == carve_stamp {
+                    continue;
+                }
+                let gate_slots = slots[id.index()].expect("bucketed gate is aggregable");
+                let other = if gate_slots[0].hub == hub {
+                    gate_slots[0].other
+                } else {
+                    gate_slots[1].other
+                };
+                if seen[other.index()] != group_stamp {
+                    seen[other.index()] = group_stamp;
+                    comps.push(TargetComponent { gate: id, other });
+                }
+            }
+            if comps.len() >= min {
+                for c in &comps {
+                    assigned[c.gate.index()] = carve_stamp;
+                }
+                groups.push(MultiTargetGate {
+                    hub,
+                    kind,
+                    components: comps,
+                });
+            } else {
+                comps.clear();
+                comp_pool.push(comps);
+            }
+        }
+        self.order = order;
+
+        groups.sort_by(|a, b| b.len().cmp(&a.len()).then(a.hub.cmp(&b.hub)));
+
+        // Leftovers: merge the (sorted) non-aggregable gates with the
+        // (sorted) unassigned aggregable ones.
+        let mut other_it = self.other_ready.iter().copied().peekable();
+        for &id in &self.agg_ready {
+            if self.assigned[id.index()] == carve_stamp {
+                continue;
+            }
+            while let Some(&o) = other_it.peek() {
+                if o < id {
+                    leftovers.push(o);
+                    other_it.next();
+                } else {
+                    break;
+                }
+            }
+            leftovers.push(id);
+        }
+        leftovers.extend(other_it);
+        debug_assert!(leftovers.is_sorted());
+    }
+}
+
 /// Groups the `ready` gates of `circuit` into multi-target gates.
 ///
 /// Returns the groups (largest first) and the leftover gates that should be
 /// executed as regular 2-qubit gates. One-qubit gates and measurements in
 /// `ready` are always returned in the leftovers.
+///
+/// This is the one-shot convenience form of [`AggregationFront`]: it builds
+/// a front from `ready`, carves once and returns the result. `ready` is
+/// treated as a set — grouping is independent of its order (candidates are
+/// always considered ascending by [`GateId`]). Callers that aggregate over
+/// an evolving front every round should maintain an [`AggregationFront`]
+/// incrementally instead.
 ///
 /// # Example
 ///
@@ -111,109 +428,22 @@ pub fn aggregate_controlled(
     ready: &[GateId],
     options: AggregateOptions,
 ) -> (Vec<MultiTargetGate>, Vec<GateId>) {
-    let min = options.min_components.max(2);
-    let nq = circuit.num_qubits() as usize;
-
-    // Candidate hub memberships for every aggregable ready gate, bucketed
-    // by (hub qubit, kind) in flat per-qubit arrays. This function runs
-    // once per compiler round over fronts that can span the whole program
-    // (QAOA readies tens of thousands of commuting gates), so the inner
-    // structures are arrays indexed by qubit/gate id, not hash maps.
-    let mut plain: Vec<Vec<GateId>> = vec![Vec::new(); nq];
-    let mut conjugated: Vec<Vec<GateId>> = vec![Vec::new(); nq];
-    let mut leftovers = Vec::new();
-    let mut aggregable: Vec<GateId> = Vec::new();
-
+    let mut front = AggregationFront::new(circuit);
+    // Non-two-qubit gates pass through as leftovers (the front tracks only
+    // two-qubit gates).
+    let mut passthrough: Vec<GateId> = Vec::new();
     for &id in ready {
-        match circuit.gates()[id.index()] {
-            Gate::Two { kind, a, b, .. } if kind.is_controlled() => {
-                aggregable.push(id);
-                match kind {
-                    TwoQubitKind::Cnot => {
-                        plain[a.index()].push(id);
-                        conjugated[b.index()].push(id);
-                    }
-                    TwoQubitKind::Cz | TwoQubitKind::Cphase | TwoQubitKind::Rzz => {
-                        plain[a.index()].push(id);
-                        plain[b.index()].push(id);
-                    }
-                    TwoQubitKind::Swap => unreachable!("swap is not controlled"),
-                }
-            }
-            _ => leftovers.push(id),
+        if circuit.gates()[id.index()].is_two_qubit() {
+            front.insert(id);
+        } else {
+            passthrough.push(id);
         }
     }
-
-    let mut assigned = vec![false; circuit.len()];
     let mut groups = Vec::new();
-
-    // Greedy by initial bucket size: visit hubs from the most to the least
-    // populous and carve each one's group from the still-unassigned gates.
-    // (A single pass — re-counting after every pick would be quadratic on
-    // the all-commuting fronts of QAOA-size programs.)
-    let mut order: Vec<(Qubit, GroupKind)> = Vec::new();
-    for q in 0..nq as u32 {
-        if !plain[q as usize].is_empty() {
-            order.push((Qubit(q), GroupKind::Plain));
-        }
-        if !conjugated[q as usize].is_empty() {
-            order.push((Qubit(q), GroupKind::Conjugated));
-        }
-    }
-    let bucket = |hub: Qubit, kind: GroupKind| -> &Vec<GateId> {
-        match kind {
-            GroupKind::Plain => &plain[hub.index()],
-            GroupKind::Conjugated => &conjugated[hub.index()],
-        }
-    };
-    order.sort_by_key(|&(hub, kind)| {
-        (
-            std::cmp::Reverse(bucket(hub, kind).len()),
-            hub,
-            matches!(kind, GroupKind::Conjugated),
-        )
-    });
-
-    // seen_stamp[q] == group ordinal + 1 marks q as already targeted by
-    // the group under construction (duplicate pairs keep one component).
-    let mut seen_stamp = vec![0u32; nq];
-    for (ordinal, &(hub, kind)) in order.iter().enumerate() {
-        let stamp = ordinal as u32 + 1;
-        let mut comps: Vec<TargetComponent> = Vec::new();
-        for &id in bucket(hub, kind) {
-            if assigned[id.index()] {
-                continue;
-            }
-            let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
-                continue;
-            };
-            let other = if a == hub { b } else { a };
-            if seen_stamp[other.index()] != stamp {
-                seen_stamp[other.index()] = stamp;
-                comps.push(TargetComponent { gate: id, other });
-            }
-        }
-        if comps.len() >= min {
-            for c in &comps {
-                assigned[c.gate.index()] = true;
-            }
-            groups.push(MultiTargetGate {
-                hub,
-                kind,
-                components: comps,
-            });
-        }
-    }
-
-    groups.sort_by(|a, b| b.len().cmp(&a.len()).then(a.hub.cmp(&b.hub)));
-
-    for id in aggregable {
-        if !assigned[id.index()] {
-            leftovers.push(id);
-        }
-    }
-    leftovers.sort();
-
+    let mut leftovers = Vec::new();
+    front.carve(options, &mut groups, &mut leftovers);
+    leftovers.extend(passthrough);
+    leftovers.sort_unstable();
     (groups, leftovers)
 }
 
@@ -225,6 +455,219 @@ mod tests {
         AggregateOptions {
             min_components: min,
         }
+    }
+
+    /// Reference implementation: the pre-incremental per-round rebuild
+    /// (flat bucket arrays refilled from the ready list on every call),
+    /// kept verbatim as the oracle the front must match gate-for-gate.
+    fn aggregate_oracle(
+        circuit: &Circuit,
+        ready: &[GateId],
+        options: AggregateOptions,
+    ) -> (Vec<MultiTargetGate>, Vec<GateId>) {
+        let min = options.min_components.max(2);
+        let nq = circuit.num_qubits() as usize;
+        let mut plain: Vec<Vec<GateId>> = vec![Vec::new(); nq];
+        let mut conjugated: Vec<Vec<GateId>> = vec![Vec::new(); nq];
+        let mut leftovers = Vec::new();
+        let mut aggregable: Vec<GateId> = Vec::new();
+        for &id in ready {
+            match circuit.gates()[id.index()] {
+                Gate::Two { kind, a, b, .. } if kind.is_controlled() => {
+                    aggregable.push(id);
+                    match kind {
+                        TwoQubitKind::Cnot => {
+                            plain[a.index()].push(id);
+                            conjugated[b.index()].push(id);
+                        }
+                        TwoQubitKind::Cz | TwoQubitKind::Cphase | TwoQubitKind::Rzz => {
+                            plain[a.index()].push(id);
+                            plain[b.index()].push(id);
+                        }
+                        TwoQubitKind::Swap => unreachable!("swap is not controlled"),
+                    }
+                }
+                _ => leftovers.push(id),
+            }
+        }
+        let mut assigned = vec![false; circuit.len()];
+        let mut groups = Vec::new();
+        let mut order: Vec<(Qubit, GroupKind)> = Vec::new();
+        for q in 0..nq as u32 {
+            if !plain[q as usize].is_empty() {
+                order.push((Qubit(q), GroupKind::Plain));
+            }
+            if !conjugated[q as usize].is_empty() {
+                order.push((Qubit(q), GroupKind::Conjugated));
+            }
+        }
+        let bucket = |hub: Qubit, kind: GroupKind| -> &Vec<GateId> {
+            match kind {
+                GroupKind::Plain => &plain[hub.index()],
+                GroupKind::Conjugated => &conjugated[hub.index()],
+            }
+        };
+        order.sort_by_key(|&(hub, kind)| {
+            (
+                std::cmp::Reverse(bucket(hub, kind).len()),
+                hub,
+                matches!(kind, GroupKind::Conjugated),
+            )
+        });
+        let mut seen_stamp = vec![0u32; nq];
+        for (ordinal, &(hub, kind)) in order.iter().enumerate() {
+            let stamp = ordinal as u32 + 1;
+            let mut comps: Vec<TargetComponent> = Vec::new();
+            for &id in bucket(hub, kind) {
+                if assigned[id.index()] {
+                    continue;
+                }
+                let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
+                    continue;
+                };
+                let other = if a == hub { b } else { a };
+                if seen_stamp[other.index()] != stamp {
+                    seen_stamp[other.index()] = stamp;
+                    comps.push(TargetComponent { gate: id, other });
+                }
+            }
+            if comps.len() >= min {
+                for c in &comps {
+                    assigned[c.gate.index()] = true;
+                }
+                groups.push(MultiTargetGate {
+                    hub,
+                    kind,
+                    components: comps,
+                });
+            }
+        }
+        groups.sort_by(|a, b| b.len().cmp(&a.len()).then(a.hub.cmp(&b.hub)));
+        for id in aggregable {
+            if !assigned[id.index()] {
+                leftovers.push(id);
+            }
+        }
+        leftovers.sort();
+        (groups, leftovers)
+    }
+
+    /// A deterministic mixed-kind program over `nq` qubits.
+    fn mixed_program(nq: u32, gates: usize, seed: u64) -> Circuit {
+        let mut c = Circuit::new(nq);
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        let mut next = |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for _ in 0..gates {
+            let a = Qubit(next(u64::from(nq)) as u32);
+            let mut b = Qubit(next(u64::from(nq)) as u32);
+            if b == a {
+                b = Qubit((a.0 + 1) % nq);
+            }
+            match next(5) {
+                0 => c.cnot(a, b).unwrap(),
+                1 => c.cz(a, b).unwrap(),
+                2 => c.cp(a, b, 0.3).unwrap(),
+                3 => c.rzz(a, b, 0.7).unwrap(),
+                _ => c
+                    .push(Gate::Two {
+                        kind: TwoQubitKind::Swap,
+                        a,
+                        b,
+                        angle: 0.0,
+                    })
+                    .unwrap(),
+            };
+        }
+        c
+    }
+
+    #[test]
+    fn one_shot_wrapper_matches_oracle() {
+        for seed in 0..6 {
+            let c = mixed_program(12, 80, seed + 1);
+            let ready: Vec<GateId> = (0..c.len() as u32).map(GateId).collect();
+            for min in [2, 3, 5] {
+                let got = aggregate_controlled(&c, &ready, opts(min));
+                let want = aggregate_oracle(&c, &ready, opts(min));
+                assert_eq!(got, want, "seed={seed} min={min}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_front_matches_fresh_rebuild_under_churn() {
+        // Drive a front through interleaved insert/remove cycles (ready,
+        // suspended, completed, re-carved) and after every carve compare
+        // against the oracle rebuilt from scratch on the same live set.
+        let c = mixed_program(10, 120, 9);
+        let mut front = AggregationFront::new(&c);
+        let mut live: Vec<GateId> = Vec::new();
+        let mut groups = Vec::new();
+        let mut leftovers = Vec::new();
+        let mut state = 0xdeadbeefu64;
+        let mut next = |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        for round in 0..40 {
+            // Insert a few random gates (idempotently), remove a few.
+            for _ in 0..5 {
+                let id = GateId(next(c.len() as u64) as u32);
+                front.insert(id);
+                front.insert(id); // idempotent
+                if !live.contains(&id) {
+                    live.push(id);
+                }
+            }
+            for _ in 0..2 {
+                if live.is_empty() {
+                    break;
+                }
+                let id = live.swap_remove(next(live.len() as u64) as usize);
+                front.remove(id);
+                front.remove(id); // idempotent
+            }
+            front.carve(opts(2), &mut groups, &mut leftovers);
+            // The oracle's bucket order follows its input order; the
+            // compiler always offered the ready set ascending, which is
+            // the order the front maintains.
+            let mut live_sorted = live.clone();
+            live_sorted.sort_unstable();
+            let (want_groups, want_rest) = aggregate_oracle(&c, &live_sorted, opts(2));
+            assert_eq!(groups, want_groups, "groups diverged in round {round}");
+            assert_eq!(leftovers, want_rest, "leftovers diverged in round {round}");
+        }
+    }
+
+    #[test]
+    fn front_len_tracks_membership() {
+        let mut c = Circuit::new(4);
+        c.cnot(Qubit(0), Qubit(1)).unwrap();
+        c.push(Gate::Two {
+            kind: TwoQubitKind::Swap,
+            a: Qubit(2),
+            b: Qubit(3),
+            angle: 0.0,
+        })
+        .unwrap();
+        c.h(Qubit(0)).unwrap();
+        let mut front = AggregationFront::new(&c);
+        assert!(front.is_empty());
+        front.insert(GateId(0));
+        front.insert(GateId(1));
+        front.insert(GateId(2)); // one-qubit: ignored
+        assert_eq!(front.len(), 2);
+        front.remove(GateId(0));
+        assert_eq!(front.len(), 1);
+        front.remove(GateId(0)); // idempotent
+        assert_eq!(front.len(), 1);
     }
 
     #[test]

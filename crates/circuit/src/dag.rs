@@ -15,6 +15,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::aggregate::AggregationFront;
 use crate::circuit::Circuit;
 use crate::commute::PauliRole;
 use crate::gate::Gate;
@@ -169,6 +170,9 @@ pub struct DagSchedule<'a> {
     /// Ready two-qubit gates.
     ready_two: BTreeSet<GateId>,
     num_completed: usize,
+    /// Incrementally maintained aggregation candidates (compiler sessions
+    /// attach one; plain schedules don't pay for it).
+    aggregation: Option<AggregationFront>,
 }
 
 impl<'a> DagSchedule<'a> {
@@ -181,6 +185,7 @@ impl<'a> DagSchedule<'a> {
             ready_one: BTreeSet::new(),
             ready_two: BTreeSet::new(),
             num_completed: 0,
+            aggregation: None,
         };
         for g in 0..dag.num_gates {
             let id = GateId(g as u32);
@@ -216,6 +221,50 @@ impl<'a> DagSchedule<'a> {
 
     fn insert_ready(&mut self, g: GateId) {
         self.front_of(g).insert(g);
+        if let Some(front) = &mut self.aggregation {
+            front.insert(g);
+        }
+    }
+
+    /// Attaches an incrementally maintained [`AggregationFront`] seeded
+    /// from the current two-qubit ready front. From here on the front
+    /// tracks readiness automatically; use
+    /// [`DagSchedule::aggregation_front_mut`] to carve each round and
+    /// [`DagSchedule::suspend_from_aggregation`] for gates executing on the
+    /// highway whose completion is deferred to the shuttle close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is not the circuit this schedule's DAG was built
+    /// from (gate count mismatch).
+    pub fn attach_aggregation(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.len(),
+            self.dag.num_gates,
+            "aggregation front attached to a different circuit"
+        );
+        let mut front = AggregationFront::new(circuit);
+        for &g in &self.ready_two {
+            front.insert(g);
+        }
+        self.aggregation = Some(front);
+    }
+
+    /// The attached aggregation front, if any.
+    pub fn aggregation_front_mut(&mut self) -> Option<&mut AggregationFront> {
+        self.aggregation.as_mut()
+    }
+
+    /// Withdraws a ready two-qubit gate from the aggregation front without
+    /// completing it: the gate has executed as a component of a highway
+    /// gate, but retires from the DAG only when the shuttle closes (its
+    /// logical effect is final after the closing corrections). It must not
+    /// be offered for aggregation or regular routing in the meantime.
+    pub fn suspend_from_aggregation(&mut self, g: GateId) {
+        debug_assert!(self.is_gate_ready(g), "suspended gate must be ready");
+        if let Some(front) = &mut self.aggregation {
+            front.remove(g);
+        }
     }
 
     /// The currently executable gates, in ascending [`GateId`] order.
@@ -303,6 +352,9 @@ impl<'a> DagSchedule<'a> {
     fn finish(&mut self, g: GateId) {
         self.completed[g.index()] = true;
         self.num_completed += 1;
+        if let Some(front) = &mut self.aggregation {
+            front.remove(g); // no-op if already suspended
+        }
         let dag = self.dag;
         for pos in dag.gate_pos[g.index()].iter().flatten() {
             self.done[pos.qubit as usize][pos.block as usize] += 1;

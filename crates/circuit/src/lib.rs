@@ -37,7 +37,8 @@ pub mod benchmarks;
 pub mod qasm;
 
 pub use aggregate::{
-    aggregate_controlled, AggregateOptions, GroupKind, MultiTargetGate, TargetComponent,
+    aggregate_controlled, AggregateOptions, AggregationFront, GroupKind, MultiTargetGate,
+    TargetComponent,
 };
 pub use circuit::{Circuit, CircuitError, CircuitStats};
 pub use commute::{commutes, PauliRole};

@@ -1,16 +1,23 @@
 //! The MECH compilation pipeline.
 //!
 //! The compiler walks the program's commutation DAG front-to-back. Each
-//! *round* it:
+//! *round* runs three explicitly separated phases:
 //!
-//! 1. executes all ready one-qubit gates and measurements (free/cheap);
-//! 2. aggregates ready controlled gates into multi-target gates
-//!    ([`aggregate_controlled`]) and executes the large ones over the
-//!    highway: entrance selection by earliest execution time, highway path
-//!    claiming with reuse, constant-depth GHZ preparation, hub attachment
-//!    and streamed components (temporal + spatial sharing, paper §6);
-//! 3. executes the remaining ("regular") two-qubit gates with SWAP routing
-//!    through the data region.
+//! 1. [free phase] all ready one-qubit gates and measurements (free/cheap);
+//! 2. [highway phase] ready controlled gates are carved into multi-target
+//!    gates by the incrementally maintained
+//!    [`AggregationFront`](mech_circuit::AggregationFront), and the large
+//!    ones execute over the highway: entrance selection by earliest
+//!    execution time, highway path claiming with reuse, constant-depth GHZ
+//!    preparation, hub attachment and streamed components (temporal +
+//!    spatial sharing, paper §6);
+//! 3. [regular phase] the remaining ("regular") two-qubit gates execute
+//!    with SWAP routing through the data region. This phase is *shardable*:
+//!    gates whose operands sit in the same chiplet are routed by
+//!    per-chiplet planner workers (`std::thread::scope`) against
+//!    worker-local state, and the plans are merged in fixed chiplet order
+//!    and replayed by a sequential commit — so compiled schedules are
+//!    bit-identical at every thread count (see `DESIGN.md` §8).
 //!
 //! When a round makes no further progress the open shuttle closes: the
 //! highway is measured out, corrections feed forward to the hubs, and the
@@ -19,16 +26,16 @@
 
 use std::collections::HashSet;
 
-use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, QubitSet, Topology};
+use mech_chiplet::{ChipletId, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, Topology};
 use mech_circuit::{
-    aggregate_controlled, AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId,
-    GroupKind, MultiTargetGate, Qubit,
+    AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId, GroupKind,
+    MultiTargetGate, Qubit,
 };
 use mech_highway::{
-    prepare_ghz, prepare_ghz_chain, ActiveGroup, EntranceOption, EntranceTable, ShuttleState,
-    ShuttleStats,
+    prepare_ghz, prepare_ghz_chain, ActiveGroup, EntranceOption, EntranceTable, PinnedView,
+    ShuttleState, ShuttleStats,
 };
-use mech_router::{LocalRouter, Mapping};
+use mech_router::{LocalRouter, Mapping, RoutePlan};
 
 use crate::config::CompilerConfig;
 use crate::error::CompileError;
@@ -45,6 +52,10 @@ pub struct CompileResult {
     pub shuttle_trace: Vec<mech_highway::ShuttleRecord>,
     /// Two-qubit gates executed off-highway.
     pub regular_gates: u64,
+    /// Routes speculatively planned by parallel workers (diagnostic:
+    /// always 0 with `threads == 1`; planning never changes the compiled
+    /// schedule, only where the pathfinding work ran).
+    pub planned_routes: u64,
     /// Fraction of physical qubits used as highway ancillas.
     pub highway_percentage: f64,
 }
@@ -87,7 +98,7 @@ pub struct MechCompiler<'a> {
 ///
 /// Besides the live pipeline objects, the session owns the per-round
 /// scratch buffers; every round clears and refills them, so the steady
-/// state of `round_pass` allocates nothing.
+/// state of a round allocates nothing.
 struct Session<'a> {
     circuit: &'a Circuit,
     pc: PhysCircuit,
@@ -102,8 +113,11 @@ struct Session<'a> {
     pending_close: Vec<GateId>,
     pending_set: HashSet<GateId>,
     regular_gates: u64,
-    /// Phase B scratch: ready two-qubit gates eligible for aggregation.
-    ready2: Vec<GateId>,
+    /// Highway-phase output: carved multi-target gates (buffers recycled
+    /// through the aggregation front).
+    groups: Vec<MultiTargetGate>,
+    /// Highway-phase output: the round's regular two-qubit gates.
+    regular: Vec<GateId>,
     /// Group-assembly scratch: components ordered by highway distance.
     comps: Vec<(GateId, Qubit, u32)>,
     /// Group-assembly scratch: components with a claimed entrance.
@@ -112,7 +126,69 @@ struct Session<'a> {
     ranked: Vec<EntranceOption>,
     /// Group-assembly scratch: entrances consumed by the current group.
     entrance_set: HashSet<PhysQubit>,
+    /// Per-chiplet planner workers for the regular phase (empty when
+    /// `threads` is 1).
+    planners: Vec<PlannerSlot<'a>>,
+    /// plans[i] = speculative route plan for `regular[i]`, if a worker
+    /// planned it this round.
+    plans: Vec<Option<RoutePlan>>,
+    /// Recycled plan objects.
+    plan_pool: Vec<RoutePlan>,
+    /// Partition scratch: chiplet → planner worker for the current round.
+    chiplet_slot: Vec<Option<usize>>,
+    /// Total routes planned by workers over the session (diagnostic).
+    planned_routes: u64,
 }
+
+/// One regular-phase planner worker: routes the gates of its assigned
+/// chiplets against private state, so workers run concurrently and the
+/// sequential commit only replays recorded paths.
+struct PlannerSlot<'a> {
+    router: LocalRouter<'a>,
+    /// Worker-local mapping, re-synced from the session mapping each round.
+    mapping: Mapping,
+    /// Discard circuit absorbing planned op emissions (never inspected).
+    ghost: PhysCircuit,
+    /// Work items: `(index into regular, gate)` in commit order.
+    work: Vec<(usize, GateId)>,
+    /// Produced plans, same indexing as `work`.
+    out: Vec<(usize, RoutePlan)>,
+    /// Recycled plan objects owned by this worker.
+    pool: Vec<RoutePlan>,
+}
+
+impl PlannerSlot<'_> {
+    /// Plans every work item against the worker-local mapping, mirroring
+    /// the commit's skip rule for pinned operands.
+    fn run(&mut self, circuit: &Circuit, pinned: PinnedView<'_>) {
+        for &(idx, id) in &self.work {
+            let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
+                continue;
+            };
+            if pinned.contains_qubit(self.mapping.phys(a))
+                || pinned.contains_qubit(self.mapping.phys(b))
+            {
+                continue;
+            }
+            let mut plan = self.pool.pop().unwrap_or_default();
+            // Failed routes keep their recorded prefix: the commit replays
+            // them to the identical failure.
+            let _ = self.router.plan_two_qubit(
+                &mut self.ghost,
+                &mut self.mapping,
+                a,
+                b,
+                &pinned,
+                &mut plan,
+            );
+            self.out.push((idx, plan));
+        }
+    }
+}
+
+/// Minimum same-chiplet routing work in a round before planner threads
+/// spawn; below this the spawn overhead outweighs the searches saved.
+const PLAN_MIN_GATES: usize = 16;
 
 impl<'a> MechCompiler<'a> {
     /// Creates a compiler over the given hardware and highway layout.
@@ -147,11 +223,31 @@ impl<'a> MechCompiler<'a> {
         }
 
         let dag = CommutationDag::new(circuit);
+        let mapping = Mapping::trivial(circuit.num_qubits(), &data);
+        let mut sched = dag.schedule();
+        sched.attach_aggregation(circuit);
+        // One planner worker per thread beyond the serial baseline; they
+        // live for the whole session so per-round planning reuses their
+        // routers, mappings and ghost circuits without allocating.
+        let planners: Vec<PlannerSlot<'_>> = if self.config.threads > 1 {
+            (0..self.config.threads)
+                .map(|_| PlannerSlot {
+                    router: LocalRouter::new(self.topo, self.layout),
+                    mapping: mapping.clone(),
+                    ghost: PhysCircuit::new(self.topo.num_qubits(), self.config.cost),
+                    work: Vec::new(),
+                    out: Vec::new(),
+                    pool: Vec::new(),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut s = Session {
             circuit,
             pc: PhysCircuit::new(self.topo.num_qubits(), self.config.cost),
-            mapping: Mapping::trivial(circuit.num_qubits(), &data),
-            sched: dag.schedule(),
+            mapping,
+            sched,
             shuttle: ShuttleState::new(self.topo),
             router: LocalRouter::new(self.topo, self.layout),
             entrances: EntranceTable::build(
@@ -162,11 +258,17 @@ impl<'a> MechCompiler<'a> {
             pending_close: Vec::new(),
             pending_set: HashSet::new(),
             regular_gates: 0,
-            ready2: Vec::new(),
+            groups: Vec::new(),
+            regular: Vec::new(),
             comps: Vec::new(),
             chosen: Vec::new(),
             ranked: Vec::new(),
             entrance_set: HashSet::new(),
+            planners,
+            plans: Vec::new(),
+            plan_pool: Vec::new(),
+            chiplet_slot: vec![None; self.topo.num_chiplets() as usize],
+            planned_routes: 0,
         };
 
         while !s.sched.is_finished() {
@@ -190,6 +292,7 @@ impl<'a> MechCompiler<'a> {
             shuttle_stats: s.shuttle.stats(),
             shuttle_trace: s.shuttle.trace().to_vec(),
             regular_gates: s.regular_gates,
+            planned_routes: s.planned_routes,
             highway_percentage: self.layout.percentage(),
         })
     }
@@ -197,11 +300,17 @@ impl<'a> MechCompiler<'a> {
     /// Executes everything executable right now; returns whether any gate
     /// was completed or any highway component executed.
     fn round_pass(&self, s: &mut Session<'_>) -> Result<bool, CompileError> {
-        let mut progressed = false;
+        let mut progressed = self.phase_free_gates(s);
+        progressed |= self.phase_highway(s);
+        progressed |= self.phase_regular(s)?;
+        Ok(progressed)
+    }
 
-        // Phase A: free one-qubit gates and measurements, drained straight
-        // off the partitioned front. Gates pending a shuttle close are all
-        // two-qubit, so no filtering is needed here.
+    /// Free phase: one-qubit gates and measurements, drained straight off
+    /// the partitioned front. Gates pending a shuttle close are all
+    /// two-qubit, so no filtering is needed here.
+    fn phase_free_gates(&self, s: &mut Session<'_>) -> bool {
+        let mut progressed = false;
         while let Some(id) = s.sched.pop_ready_one_qubit() {
             match s.circuit.gates()[id.index()] {
                 Gate::One { q, .. } => {
@@ -216,23 +325,28 @@ impl<'a> MechCompiler<'a> {
             }
             progressed = true;
         }
+        progressed
+    }
 
-        // Phase B: aggregate and execute highway gates. The two-qubit front
-        // is iterated borrow-based into a reusable buffer.
-        s.ready2.clear();
-        let pending = &s.pending_set;
-        s.ready2
-            .extend(s.sched.ready_two_qubit().filter(|id| !pending.contains(id)));
-        let (groups, regular) = aggregate_controlled(
-            s.circuit,
-            &s.ready2,
-            AggregateOptions {
-                min_components: self.config.min_components,
-            },
-        );
+    /// Highway phase: carve the incrementally maintained aggregation front
+    /// into multi-target gates and execute the large ones over the highway.
+    /// Leaves the round's regular gates in `s.regular`.
+    fn phase_highway(&self, s: &mut Session<'_>) -> bool {
+        let mut progressed = false;
+        s.sched
+            .aggregation_front_mut()
+            .expect("session attaches an aggregation front")
+            .carve(
+                AggregateOptions {
+                    min_components: self.config.min_components,
+                },
+                &mut s.groups,
+                &mut s.regular,
+            );
         // Stop attempting groups after a few consecutive congestion
         // failures: with the largest groups first, further ones would
         // mostly fail too, and they retry next shuttle anyway.
+        let groups = std::mem::take(&mut s.groups);
         let mut consecutive_failures = 0u32;
         for group in &groups {
             if consecutive_failures >= 3 {
@@ -247,15 +361,31 @@ impl<'a> MechCompiler<'a> {
                 for id in executed {
                     s.pending_set.insert(id);
                     s.pending_close.push(id);
+                    // In flight on the highway: out of the aggregation
+                    // front until the close retires it.
+                    s.sched.suspend_from_aggregation(id);
                 }
             }
         }
+        s.groups = groups;
+        progressed
+    }
 
-        // Phase C: regular two-qubit gates (off-highway). The pinned set —
-        // hubs of open groups and highway qubits holding live GHZ states —
-        // is a zero-cost view over incrementally maintained shuttle state.
+    /// Regular phase: the round's off-highway two-qubit gates. The
+    /// shardable part — gates whose operands sit in the same chiplet — is
+    /// planned by per-chiplet workers when `threads > 1`; the commit then
+    /// replays the plans sequentially in gate order, falling back to live
+    /// searches wherever a plan went stale. The pinned set — hubs of open
+    /// groups and highway qubits holding live GHZ states — is a zero-cost
+    /// view over incrementally maintained shuttle state, constant for the
+    /// whole phase.
+    fn phase_regular(&self, s: &mut Session<'_>) -> Result<bool, CompileError> {
+        let mut progressed = false;
+        self.plan_regular(s);
+
         let pinned = s.shuttle.pinned_view();
-        for id in regular {
+        for i in 0..s.regular.len() {
+            let id = s.regular[i];
             let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
                 continue;
             };
@@ -264,10 +394,24 @@ impl<'a> MechCompiler<'a> {
             {
                 continue;
             }
-            match s
-                .router
-                .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &pinned)
-            {
+            let result = match s.plans.get_mut(i).and_then(Option::take) {
+                Some(plan) => {
+                    let r = s.router.execute_two_qubit_planned(
+                        &mut s.pc,
+                        &mut s.mapping,
+                        a,
+                        b,
+                        &pinned,
+                        &plan,
+                    );
+                    s.plan_pool.push(plan);
+                    r
+                }
+                None => s
+                    .router
+                    .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &pinned),
+            };
+            match result {
                 Ok(()) => {
                     s.sched.complete(id);
                     s.regular_gates += 1;
@@ -279,8 +423,108 @@ impl<'a> MechCompiler<'a> {
                 Err(e) => return Err(e.into()),
             }
         }
-
+        // Plans for gates the commit skipped (pinned operands) recycle too.
+        for plan in s.plans.iter_mut().filter_map(Option::take) {
+            s.plan_pool.push(plan);
+        }
         Ok(progressed)
+    }
+
+    /// Shard/plan step of the regular phase. Partitions `s.regular` by the
+    /// chiplet of the operands' current positions; rounds with enough
+    /// same-chiplet gates across ≥ 2 chiplets fan the pathfinding out over
+    /// scoped worker threads (chiplets assigned round-robin, results merged
+    /// in fixed worker order). Cross-chiplet gates are left unplanned — the
+    /// commit routes them live.
+    ///
+    /// Planning never changes compiled output: a plan only replays while
+    /// its recorded endpoints match the live mapping, and pathfinding is a
+    /// pure function of those endpoints and the phase-constant pinned set.
+    fn plan_regular(&self, s: &mut Session<'_>) {
+        s.plans.clear();
+        if self.config.threads < 2 || s.regular.len() < PLAN_MIN_GATES {
+            return;
+        }
+
+        let Session {
+            planners,
+            regular,
+            mapping,
+            circuit,
+            shuttle,
+            plans,
+            plan_pool,
+            chiplet_slot,
+            planned_routes,
+            ..
+        } = s;
+        for slot in planners.iter_mut() {
+            slot.work.clear();
+        }
+
+        // Partition by chiplet, keeping commit order within each chiplet.
+        // `chiplet_slot[c]` lazily assigns chiplet `c` to a worker,
+        // round-robin in order of first appearance.
+        chiplet_slot.fill(None);
+        let mut next_slot = 0usize;
+        let mut shardable = 0usize;
+        let mut active_chiplets = 0usize;
+        for (i, &id) in regular.iter().enumerate() {
+            let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
+                continue;
+            };
+            let (ca, cb) = (
+                self.topo.chiplet(mapping.phys(a)),
+                self.topo.chiplet(mapping.phys(b)),
+            );
+            if ca != cb {
+                continue;
+            }
+            let ChipletId(c) = ca;
+            let slot = *chiplet_slot[c as usize].get_or_insert_with(|| {
+                active_chiplets += 1;
+                let w = next_slot;
+                next_slot = (next_slot + 1) % planners.len();
+                w
+            });
+            planners[slot].work.push((i, id));
+            shardable += 1;
+        }
+        if shardable < PLAN_MIN_GATES || active_chiplets < 2 {
+            return;
+        }
+
+        plans.resize_with(regular.len(), || None);
+        let pinned = shuttle.pinned_view();
+        std::thread::scope(|scope| {
+            for slot in planners.iter_mut() {
+                if slot.work.is_empty() {
+                    continue;
+                }
+                slot.mapping.clone_from(mapping);
+                slot.ghost.reset();
+                let circuit = *circuit;
+                scope.spawn(move || slot.run(circuit, pinned));
+            }
+        });
+
+        // Merge in fixed worker order; work sets are disjoint by
+        // construction, so the merge is order-insensitive — the fixed order
+        // just keeps the procedure visibly deterministic.
+        for slot in planners.iter_mut() {
+            for (idx, plan) in slot.out.drain(..) {
+                debug_assert!(plans[idx].is_none());
+                plans[idx] = Some(plan);
+                *planned_routes += 1;
+            }
+            // Top the worker's pool back up from the session pool.
+            while slot.pool.len() < slot.work.len() {
+                match plan_pool.pop() {
+                    Some(p) => slot.pool.push(p),
+                    None => break,
+                }
+            }
+        }
     }
 
     /// Guaranteed-progress fallback: executes the first ready two-qubit
@@ -579,6 +823,46 @@ mod tests {
         let b = c.compile(&prog).unwrap();
         assert_eq!(a.circuit.depth(), b.circuit.depth());
         assert_eq!(a.circuit.counts(), b.circuit.counts());
+    }
+
+    #[test]
+    fn threaded_compile_is_bit_identical_to_serial() {
+        // A routing-heavy workload: with aggregation effectively disabled
+        // (huge min_components) every two-qubit gate goes through the
+        // regular phase, and the same-chiplet shards are big enough for
+        // the planner threads to actually spawn (PLAN_MIN_GATES, ≥ 2
+        // chiplets). Schedules must come out op-for-op identical at every
+        // thread count, including the emission order.
+        let (topo, hw) = setup(6, 2, 2);
+        let n = hw.num_data_qubits();
+        let prog = random_circuit(n, 1200, 77);
+        let compile = |threads: usize| {
+            let config = CompilerConfig {
+                threads,
+                min_components: 64,
+                ..CompilerConfig::default()
+            };
+            MechCompiler::new(&topo, &hw, config)
+                .compile(&prog)
+                .unwrap()
+        };
+        let serial = compile(1);
+        assert_eq!(serial.planned_routes, 0, "serial compiles never plan");
+        for threads in [2, 8] {
+            let threaded = compile(threads);
+            assert!(
+                threaded.planned_routes > 0,
+                "workload must actually exercise the planner threads at threads={threads}"
+            );
+            assert_eq!(
+                serial.circuit.ops(),
+                threaded.circuit.ops(),
+                "op stream diverged at threads={threads}"
+            );
+            assert_eq!(serial.circuit.depth(), threaded.circuit.depth());
+            assert_eq!(serial.regular_gates, threaded.regular_gates);
+            assert_eq!(serial.shuttle_trace, threaded.shuttle_trace);
+        }
     }
 
     #[test]

@@ -41,10 +41,30 @@ pub struct CompilerConfig {
     pub entrance_candidates: usize,
     /// GHZ preparation scheme (measurement-based vs. naive chain).
     pub ghz_style: GhzStyle,
+    /// Worker threads for the shardable compilation phases (currently the
+    /// per-chiplet planning of regular-gate routes). `1` compiles fully
+    /// serially; higher values let rounds with enough same-chiplet routing
+    /// work fan out over `std::thread::scope` workers. Compiled schedules
+    /// are **bit-identical at every thread count** — threads only move
+    /// pathfinding work off the sequential commit path.
+    ///
+    /// Defaults to the `MECH_THREADS` environment variable when set (and
+    /// ≥ 1), else 1.
+    pub threads: usize,
     /// Baseline router tuning (used by [`BaselineCompiler`]).
     ///
     /// [`BaselineCompiler`]: crate::BaselineCompiler
     pub sabre: SabreConfig,
+}
+
+/// The `MECH_THREADS` environment override for [`CompilerConfig::threads`]
+/// (ignored unless it parses to ≥ 1).
+fn threads_from_env() -> usize {
+    std::env::var("MECH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for CompilerConfig {
@@ -55,6 +75,7 @@ impl Default for CompilerConfig {
             min_components: 3,
             entrance_candidates: 4,
             ghz_style: GhzStyle::default(),
+            threads: threads_from_env(),
             sabre: SabreConfig::default(),
         }
     }

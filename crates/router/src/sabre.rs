@@ -36,6 +36,21 @@ pub struct SabreConfig {
     /// Front-layer gates considered for SWAP candidates and scoring (caps
     /// the per-decision cost on very wide circuits).
     pub front_cap: usize,
+    /// Gate completions between full front rescans. Between rescans only
+    /// gates touching swapped positions execute incrementally; a rescan
+    /// drains everything executable, refreshes the capped front layer and
+    /// the extended set. Small values track the front closely but pay the
+    /// O(ready) rebuild often; large values go stale on wide all-commuting
+    /// fronts and pick worse swaps.
+    ///
+    /// The default of 128 comes from a wall-clock sweep over
+    /// {16, 32, 64, 128, 256, 512, 1024} on the 441-qubit device across
+    /// QFT/QAOA/BV/rand-dense (see `DESIGN.md` §8.4): 128 routed 1–3%
+    /// faster than the previous hard-coded 256 on every family, with
+    /// byte-identical output on QFT/BV/rand-dense and a 2.4% depth
+    /// increase on QAOA. Below 64 wall-clock degrades sharply (the rebuild
+    /// dominates); above 256 nothing changes (fronts go stale first).
+    pub rescan_interval: usize,
 }
 
 impl Default for SabreConfig {
@@ -46,6 +61,7 @@ impl Default for SabreConfig {
             decay_increment: 0.001,
             decay_reset_interval: 5,
             front_cap: 16,
+            rescan_interval: 128,
         }
     }
 }
@@ -108,7 +124,7 @@ pub fn sabre_route(
     let mut need_scan = true;
 
     while !sched.is_finished() {
-        if need_scan || completions_since_scan >= 256 || front.is_empty() {
+        if need_scan || completions_since_scan >= config.rescan_interval || front.is_empty() {
             // Full scan: execute everything executable, then rebuild the
             // caches from the blocked remainder.
             let mut progressed = true;

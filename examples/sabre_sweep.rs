@@ -1,0 +1,58 @@
+//! Reproduces the SABRE rescan-cadence sweep behind
+//! `SabreConfig::rescan_interval`'s default (DESIGN.md §8.4).
+//!
+//! Times `sabre_route` on the 441-qubit device across rescan intervals for
+//! four of the canonical `mech_bench::programs` families (the same seeded
+//! circuits the perf baseline and golden tests track), printing wall-clock
+//! plus the routed depth and CNOT count so cadence/quality trade-offs stay
+//! visible:
+//!
+//! ```text
+//! cargo run --release --example sabre_sweep
+//! ```
+
+use mech_bench::programs;
+use mech_chiplet::{ChipletSpec, CostModel};
+use mech_router::{sabre_route, SabreConfig};
+use std::time::Instant;
+
+fn main() {
+    let topo = ChipletSpec::square(7, 3, 3).build();
+    let n = 360; // data-region width of the 441-qubit device
+    let fams: Vec<(&str, mech_circuit::Circuit)> = vec![
+        ("qft", programs::qft(n)),
+        ("qaoa", programs::qaoa(n)),
+        ("bv", programs::bv(n)),
+        ("rand-dense", programs::rand_dense(n)),
+    ];
+    println!(
+        "{:<12} {:>8} {:>10} {:>10} {:>10}",
+        "family", "interval", "ms", "depth", "cnots"
+    );
+    for (name, prog) in &fams {
+        for interval in [16usize, 32, 64, 128, 256, 512, 1024] {
+            let cfg = SabreConfig {
+                rescan_interval: interval,
+                ..SabreConfig::default()
+            };
+            let mut best = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..2 {
+                let t = Instant::now();
+                let pc = sabre_route(prog, &topo, CostModel::default(), cfg);
+                best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+                out = Some(pc);
+            }
+            let pc = out.unwrap();
+            let c = pc.counts();
+            println!(
+                "{:<12} {:>8} {:>10.1} {:>10} {:>10}",
+                name,
+                interval,
+                best,
+                pc.depth(),
+                c.on_chip_cnots + c.cross_chip_cnots
+            );
+        }
+    }
+}

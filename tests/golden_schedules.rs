@@ -2,30 +2,43 @@
 //!
 //! The MECH compiler must be *bit-deterministic*: the paper-figure binaries
 //! depend on reproducible schedules, and performance refactors of the hot
-//! path (incremental front layer, routing scratch, entrance tables) must
-//! not change compiled output. Each test compiles a fixed seeded program on
-//! a fixed device and compares an order-insensitive fingerprint — depth,
-//! operation counts, off-highway gate count, shuttle statistics and the
-//! full per-shuttle timeline — against a golden value captured from the
-//! pre-refactor compiler.
+//! path (incremental front layer, incremental aggregation front, routing
+//! scratch, entrance tables, parallel route planning) must not change
+//! compiled output. Each test compiles a fixed seeded program on a fixed
+//! device — at **every supported thread count** — and compares an
+//! order-insensitive fingerprint — depth, operation counts, off-highway
+//! gate count, shuttle statistics and the full per-shuttle timeline —
+//! against a golden value captured from the pre-refactor compiler.
+//!
+//! The seeded programs come from `mech_bench::programs`, the same
+//! generators `perf_report` times — the fingerprints below pin exactly the
+//! circuits whose compile times the perf baseline tracks.
 //!
 //! To regenerate after an *intentional* schedule change, run
 //! `MECH_GOLDEN_PRINT=1 cargo test --test golden_schedules -- --nocapture`
 //! and paste the printed fingerprints below.
 
 use mech::{CompilerConfig, MechCompiler};
+use mech_bench::programs;
 use mech_chiplet::{ChipletSpec, HighwayLayout};
-use mech_circuit::benchmarks::{random_circuit, Benchmark};
 use mech_circuit::Circuit;
+
+/// Thread counts every fingerprint is checked at: serial, minimal
+/// parallelism, and more workers than any golden device has chiplets.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
 /// Renders everything schedule-relevant about a compile result into one
 /// comparable string. Deliberately excludes the raw op list: op *emission
 /// order* between commuting free one-qubit gates is not part of the
 /// schedule contract, while every timed quantity below is.
-fn fingerprint(device: ChipletSpec, density: u32, program: &Circuit) -> String {
+fn fingerprint(device: ChipletSpec, density: u32, program: &Circuit, threads: usize) -> String {
     let topo = device.build();
     let layout = HighwayLayout::generate(&topo, density);
-    let compiler = MechCompiler::new(&topo, &layout, CompilerConfig::default());
+    let config = CompilerConfig {
+        threads,
+        ..CompilerConfig::default()
+    };
+    let compiler = MechCompiler::new(&topo, &layout, config);
     let r = compiler.compile(program).expect("golden program compiles");
     let c = r.circuit.counts();
     let mut fp = format!(
@@ -49,21 +62,21 @@ fn fingerprint(device: ChipletSpec, density: u32, program: &Circuit) -> String {
     fp
 }
 
-/// Asserts the fingerprint matches, or prints it when regenerating.
+/// Asserts the fingerprint matches at every thread count, or prints it
+/// when regenerating.
 fn check(name: &str, device: ChipletSpec, density: u32, program: &Circuit, golden: &str) {
-    let actual = fingerprint(device, density, program);
     if std::env::var_os("MECH_GOLDEN_PRINT").is_some() {
+        let actual = fingerprint(device, density, program, 1);
         println!("GOLDEN {name} = {actual}");
         return;
     }
-    assert_eq!(
-        actual, golden,
-        "schedule for {name} diverged from the golden snapshot"
-    );
-}
-
-fn program_for(family: Benchmark, layout_qubits: u32) -> Circuit {
-    family.generate(layout_qubits, 2024)
+    for threads in THREAD_COUNTS {
+        let actual = fingerprint(device, density, program, threads);
+        assert_eq!(
+            actual, golden,
+            "schedule for {name} at threads={threads} diverged from the golden snapshot"
+        );
+    }
 }
 
 fn data_width(device: ChipletSpec, density: u32) -> u32 {
@@ -75,63 +88,39 @@ fn data_width(device: ChipletSpec, density: u32) -> u32 {
 fn golden_qft_6x6_2x2() {
     let dev = ChipletSpec::square(6, 2, 2);
     let n = data_width(dev, 1);
-    check(
-        "qft_6x6_2x2",
-        dev,
-        1,
-        &program_for(Benchmark::Qft, n),
-        GOLDEN_QFT,
-    );
+    check("qft_6x6_2x2", dev, 1, &programs::qft(n), GOLDEN_QFT);
 }
 
 #[test]
 fn golden_qaoa_6x6_2x2() {
     let dev = ChipletSpec::square(6, 2, 2);
     let n = data_width(dev, 1);
-    check(
-        "qaoa_6x6_2x2",
-        dev,
-        1,
-        &program_for(Benchmark::Qaoa, n),
-        GOLDEN_QAOA,
-    );
+    check("qaoa_6x6_2x2", dev, 1, &programs::qaoa(n), GOLDEN_QAOA);
 }
 
 #[test]
 fn golden_vqe_6x6_2x2() {
     let dev = ChipletSpec::square(6, 2, 2);
     let n = data_width(dev, 1);
-    check(
-        "vqe_6x6_2x2",
-        dev,
-        1,
-        &program_for(Benchmark::Vqe, n),
-        GOLDEN_VQE,
-    );
+    check("vqe_6x6_2x2", dev, 1, &programs::vqe(n), GOLDEN_VQE);
 }
 
 #[test]
 fn golden_bv_6x6_2x2() {
     let dev = ChipletSpec::square(6, 2, 2);
     let n = data_width(dev, 1);
-    check(
-        "bv_6x6_2x2",
-        dev,
-        1,
-        &program_for(Benchmark::Bv, n),
-        GOLDEN_BV,
-    );
+    check("bv_6x6_2x2", dev, 1, &programs::bv(n), GOLDEN_BV);
 }
 
 #[test]
 fn golden_random_6x6_2x2() {
     let dev = ChipletSpec::square(6, 2, 2);
-    let n = data_width(dev, 1).min(40);
+    let n = data_width(dev, 1);
     check(
         "random_6x6_2x2",
         dev,
         1,
-        &random_circuit(n, 400, 77),
+        &programs::golden_random(n),
         GOLDEN_RANDOM,
     );
 }
@@ -146,7 +135,7 @@ fn golden_qft_dense_highway_7x7_1x2() {
         "qft_7x7_1x2_d2",
         dev,
         2,
-        &program_for(Benchmark::Qft, n),
+        &programs::qft(n),
         GOLDEN_QFT_DENSE,
     );
 }
