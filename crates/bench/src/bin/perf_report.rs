@@ -12,11 +12,19 @@
 //!
 //! `--quick` shrinks the device for a CI smoke run; `--label` names the run
 //! record (e.g. `pre-refactor`); `--iters` controls how many timed
-//! repetitions each cell gets (the minimum is reported); `--threads` sets
+//! repetitions each cell gets (the minimum is reported; since PR 4 both
+//! compilers also get one untimed warmup compile, which matters only for
+//! `--iters 1` — min-of-k already discarded the cold run for k ≥ 2);
+//! `--threads` sets
 //! the MECH compiler's worker-thread count (compiled schedules are
 //! bit-identical at every value — only wall-clock changes). Every record
 //! holds the thread count plus one entry per (family, compiler) with the
-//! schema `{family, compiler, qubits, gates, ms, gates_per_sec}`.
+//! schema `{family, compiler, qubits, gates, ms, gates_per_sec}`; MECH
+//! cells additionally carry the claim-engine breakdown
+//! `{claim_searches, claim_skips}`, and the harness asserts the engine's
+//! fast paths engage on the QFT family (nonzero skips, searches below the
+//! component count) — a CI-smoke guard against the one-search engine
+//! silently regressing to per-candidate searches.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -78,6 +86,8 @@ struct Cell {
     qubits: u32,
     gates: usize,
     ms: f64,
+    /// MECH only: `(claim_searches, claim_skips)` from one compile.
+    claims: Option<(u64, u64)>,
 }
 
 impl Cell {
@@ -135,10 +145,30 @@ fn main() {
         let gates = program.len();
 
         let mech = MechCompiler::new(&topo, &layout, config);
+        // Warmup compile doubles as the counter probe (counters are a pure
+        // function of the schedule, not of timing).
+        let probe = mech.compile(&program).expect("MECH compiles");
+        if family == "qft" {
+            // Hub self-claims alone would keep `claim_skips` nonzero, so
+            // assert the property that actually matters: searches stay
+            // below the component count (one per corridor growth, not one
+            // per candidate entrance).
+            assert!(
+                probe.claim_skips > 0 && probe.claim_searches < probe.shuttle_stats.components,
+                "claim-engine fast paths must engage on the QFT family \
+                 (searches={}, skips={}, components={})",
+                probe.claim_searches,
+                probe.claim_skips,
+                probe.shuttle_stats.components
+            );
+        }
         let mech_ms = time_ms(args.iters, || {
             mech.compile(&program).expect("MECH compiles");
         });
         let base = BaselineCompiler::new(&topo, config);
+        // Matching warmup so both compilers are timed warm (the MECH probe
+        // above would otherwise bias single-iteration runs).
+        base.compile(&program).expect("baseline compiles");
         let sabre_ms = time_ms(args.iters, || {
             base.compile(&program).expect("baseline compiles");
         });
@@ -149,6 +179,7 @@ fn main() {
             qubits: n,
             gates,
             ms: mech_ms,
+            claims: Some((probe.claim_searches, probe.claim_skips)),
         };
         let sabre_cell = Cell {
             family,
@@ -156,6 +187,7 @@ fn main() {
             qubits: n,
             gates,
             ms: sabre_ms,
+            claims: None,
         };
         println!(
             "{:<12} {:>7} {:>8} {:>12.1} {:>14.0} {:>12.1} {:>14.0}",
@@ -190,15 +222,19 @@ fn render_record(args: &Args, cells: &[Cell]) -> String {
     );
     for (i, c) in cells.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
+        let claims = c.claims.map_or(String::new(), |(searches, skips)| {
+            format!(", \"claim_searches\": {searches}, \"claim_skips\": {skips}")
+        });
         let _ = write!(
             s,
-            "{sep}\n    {{\"family\": \"{}\", \"compiler\": \"{}\", \"qubits\": {}, \"gates\": {}, \"ms\": {:.2}, \"gates_per_sec\": {:.0}}}",
+            "{sep}\n    {{\"family\": \"{}\", \"compiler\": \"{}\", \"qubits\": {}, \"gates\": {}, \"ms\": {:.2}, \"gates_per_sec\": {:.0}{}}}",
             c.family,
             c.compiler,
             c.qubits,
             c.gates,
             c.ms,
-            c.gates_per_sec()
+            c.gates_per_sec(),
+            claims
         );
     }
     s.push_str("\n  ]}");

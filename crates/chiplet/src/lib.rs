@@ -38,6 +38,6 @@ pub use ids::{ChipletId, LinkKind, PhysQubit};
 pub use pathfind::{bfs_distances, shortest_path, shortest_path_avoiding};
 pub use phys::{OpCounts, PhysCircuit, PhysOp, PhysOpKind};
 pub use render::render_layout;
-pub use scratch::{QubitSet, RoutingScratch, SearchCost, UNREACHED};
+pub use scratch::{QubitSet, RoutingScratch, SearchCost, StampMap, StampSet, UNREACHED};
 pub use spec::{ChipletSpec, CouplingStructure};
 pub use topology::{Link, Topology};

@@ -34,6 +34,109 @@ impl QubitSet for HashSet<PhysQubit> {
     }
 }
 
+/// A reusable qubit-keyed map with O(1) clearing: an entry is present only
+/// when its generation stamp is current, so hot loops that refill a small
+/// map every iteration (entrance sets during group assembly, GHZ-prep
+/// color classes, table-build BFS distances) pay neither hashing nor a
+/// clear proportional to the device size. This is the one canonical home
+/// of the stamp/wraparound machinery — build new scratch types on it
+/// instead of hand-rolling the idiom.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{PhysQubit, StampMap};
+/// let mut m: StampMap<u32> = StampMap::default();
+/// m.begin(8);
+/// m.insert(PhysQubit(3), 7);
+/// assert_eq!(m.get(PhysQubit(3)), Some(7));
+/// m.begin(8); // O(1) clear
+/// assert_eq!(m.get(PhysQubit(3)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StampMap<T> {
+    value: Vec<T>,
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl<T> Default for StampMap<T> {
+    fn default() -> Self {
+        StampMap {
+            value: Vec::new(),
+            stamp: Vec::new(),
+            generation: 0,
+        }
+    }
+}
+
+impl<T: Copy + Default> StampMap<T> {
+    /// Empties the map and sizes it for `n` qubits.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.value.resize(n, T::default());
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: stamps from 2^32 clears ago could alias. Reset.
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// The value recorded for `q` since the last [`StampMap::begin`]
+    /// (`None` for absent or out-of-range qubits).
+    pub fn get(&self, q: PhysQubit) -> Option<T> {
+        (self.stamp.get(q.index()) == Some(&self.generation)).then(|| self.value[q.index()])
+    }
+
+    /// Records `v` for `q`.
+    pub fn insert(&mut self, q: PhysQubit, v: T) {
+        self.stamp[q.index()] = self.generation;
+        self.value[q.index()] = v;
+    }
+}
+
+/// A reusable qubit set with O(1) clearing: [`StampMap`] with a unit
+/// payload, implementing [`QubitSet`] for the routers.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{PhysQubit, QubitSet, StampSet};
+/// let mut s = StampSet::default();
+/// s.begin(8);
+/// s.insert(PhysQubit(3));
+/// assert!(s.contains_qubit(PhysQubit(3)));
+/// s.begin(8); // O(1) clear
+/// assert!(!s.contains_qubit(PhysQubit(3)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StampSet {
+    map: StampMap<()>,
+}
+
+impl StampSet {
+    /// Empties the set and sizes it for `n` qubits.
+    pub fn begin(&mut self, n: usize) {
+        self.map.begin(n);
+    }
+
+    /// Adds `q` to the set.
+    pub fn insert(&mut self, q: PhysQubit) {
+        self.map.insert(q, ());
+    }
+}
+
+impl QubitSet for StampSet {
+    fn contains_qubit(&self, q: PhysQubit) -> bool {
+        // Out-of-range qubits are simply not members, matching the other
+        // `QubitSet` implementations.
+        self.map.get(q).is_some()
+    }
+}
+
 /// Lexicographic search cost: `(primary, secondary)`.
 pub type SearchCost = (u32, u32);
 
@@ -98,6 +201,15 @@ impl RoutingScratch {
         self.cost[q.index()] = cost;
     }
 
+    /// `true` if `q` carries a recorded cost in the current search.
+    ///
+    /// After a search that ran to exhaustion, this is exactly
+    /// reachability — the basis for the highway claim engine's O(1)
+    /// candidate rejection (one search answers every destination).
+    pub fn reached(&self, q: PhysQubit) -> bool {
+        self.cost(q) != UNREACHED
+    }
+
     /// Reconstructs the shortest path from `from` to `to` into `self.path`
     /// from the settled costs of the current search, walking backwards: at
     /// each node the predecessor is the *minimum-id* neighbor whose settled
@@ -111,6 +223,17 @@ impl RoutingScratch {
     /// the smallest id. Both routers rely on this equivalence to keep
     /// compiled schedules bit-identical across search-strategy changes —
     /// keep the reasoning here, in one place.
+    ///
+    /// **Multi-target reconstruction.** One search may serve *many*
+    /// destinations: after the Dijkstra runs to exhaustion every stored
+    /// cost is final, so `reconstruct_path` may be called repeatedly with
+    /// different `to` values against the same settled state. Each such
+    /// reconstruction equals what a fresh early-exit search to that `to`
+    /// would have produced, because along any optimal path the
+    /// `(cost, hops)` pairs strictly increase (hops grow by one per step),
+    /// so every node the backward walk can match pops before `to` would
+    /// have — its stored cost at the early exit is already final, and the
+    /// predecessor match sets are identical in both runs.
     ///
     /// Requires every node on the optimal path to carry its final cost
     /// (the searches guarantee this before calling).

@@ -26,14 +26,14 @@
 
 use std::collections::HashSet;
 
-use mech_chiplet::{ChipletId, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, Topology};
+use mech_chiplet::{ChipletId, HighwayLayout, PhysCircuit, QubitSet, StampSet, Topology};
 use mech_circuit::{
     AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId, GroupKind,
     MultiTargetGate, Qubit,
 };
 use mech_highway::{
-    prepare_ghz, prepare_ghz_chain, ActiveGroup, EntranceOption, EntranceTable, PinnedView,
-    ShuttleState, ShuttleStats,
+    prepare_ghz_chain, prepare_ghz_with, ActiveGroup, EntranceOption, EntranceTable, GhzScratch,
+    PinnedView, ShuttleState, ShuttleStats,
 };
 use mech_router::{LocalRouter, Mapping, RoutePlan};
 
@@ -56,6 +56,17 @@ pub struct CompileResult {
     /// always 0 with `threads == 1`; planning never changes the compiled
     /// schedule, only where the pathfinding work ran).
     pub planned_routes: u64,
+    /// Full highway-claim searches run by the one-search claim engine
+    /// (diagnostic: the engine settles one Dijkstra per owner-state change
+    /// instead of one per candidate entrance, so this stays well below the
+    /// number of entrance claims attempted).
+    pub claim_searches: u64,
+    /// Highway-claim attempts resolved without a search: settled results
+    /// reused across candidates, connectivity-index rejections, trivial
+    /// hub self-claims, and endpoint-unavailable rejections (diagnostic:
+    /// together with `claim_searches` this accounts for every claim
+    /// attempt exactly once).
+    pub claim_skips: u64,
     /// Fraction of physical qubits used as highway ancillas.
     pub highway_percentage: f64,
 }
@@ -111,7 +122,10 @@ struct Session<'a> {
     entrances: EntranceTable,
     /// Components executed in the open shuttle, retired at close.
     pending_close: Vec<GateId>,
-    pending_set: HashSet<GateId>,
+    /// `pending[id] = true` iff the gate is in `pending_close` (flat mask:
+    /// the hot path sets one bool per executed component instead of
+    /// hashing).
+    pending: Vec<bool>,
     regular_gates: u64,
     /// Highway-phase output: carved multi-target gates (buffers recycled
     /// through the aggregation front).
@@ -124,8 +138,11 @@ struct Session<'a> {
     chosen: Vec<(GateId, Qubit, EntranceOption)>,
     /// Group-assembly scratch: candidate entrances for one component.
     ranked: Vec<EntranceOption>,
-    /// Group-assembly scratch: entrances consumed by the current group.
-    entrance_set: HashSet<PhysQubit>,
+    /// Group-assembly scratch: entrances consumed by the current group
+    /// (stamped mask, cleared in O(1) per group).
+    entrance_set: StampSet,
+    /// GHZ-preparation workspace, reused across groups.
+    ghz_scratch: GhzScratch,
     /// Per-chiplet planner workers for the regular phase (empty when
     /// `threads` is 1).
     planners: Vec<PlannerSlot<'a>>,
@@ -256,14 +273,15 @@ impl<'a> MechCompiler<'a> {
                 self.config.entrance_candidates,
             ),
             pending_close: Vec::new(),
-            pending_set: HashSet::new(),
+            pending: vec![false; circuit.len()],
             regular_gates: 0,
             groups: Vec::new(),
             regular: Vec::new(),
             comps: Vec::new(),
             chosen: Vec::new(),
             ranked: Vec::new(),
-            entrance_set: HashSet::new(),
+            entrance_set: StampSet::default(),
+            ghz_scratch: GhzScratch::default(),
             planners,
             plans: Vec::new(),
             plan_pool: Vec::new(),
@@ -279,9 +297,9 @@ impl<'a> MechCompiler<'a> {
             if s.shuttle.is_open() {
                 s.shuttle.close(&mut s.pc, self.topo);
                 for id in s.pending_close.drain(..) {
+                    s.pending[id.index()] = false;
                     s.sched.complete(id);
                 }
-                s.pending_set.clear();
             } else {
                 self.force_one_gate(&mut s)?;
             }
@@ -293,6 +311,8 @@ impl<'a> MechCompiler<'a> {
             shuttle_trace: s.shuttle.trace().to_vec(),
             regular_gates: s.regular_gates,
             planned_routes: s.planned_routes,
+            claim_searches: s.shuttle.occupancy.claim_searches(),
+            claim_skips: s.shuttle.occupancy.claim_skips(),
             highway_percentage: self.layout.percentage(),
         })
     }
@@ -359,7 +379,7 @@ impl<'a> MechCompiler<'a> {
                 consecutive_failures = 0;
                 progressed = true;
                 for id in executed {
-                    s.pending_set.insert(id);
+                    s.pending[id.index()] = true;
                     s.pending_close.push(id);
                     // In flight on the highway: out of the aggregation
                     // front until the close retires it.
@@ -538,7 +558,7 @@ impl<'a> MechCompiler<'a> {
         let id = s
             .sched
             .ready_two_qubit()
-            .find(|id| !s.pending_set.contains(id))
+            .find(|id| !s.pending[id.index()])
             .expect("unfinished schedule has a ready gate");
         let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
             unreachable!("the two-qubit front only holds two-qubit gates");
@@ -580,7 +600,7 @@ impl<'a> MechCompiler<'a> {
         };
         if s.shuttle
             .occupancy
-            .claim_route(self.layout, hub_choice.entrance, hub_choice.entrance, gid)
+            .try_claim(self.layout, hub_choice.entrance, hub_choice.entrance, gid)
             .is_err()
         {
             return Vec::new();
@@ -588,7 +608,13 @@ impl<'a> MechCompiler<'a> {
 
         // Component entrances, assigned in ascending order of distance to
         // the highway (paper §6.1), each claiming a highway route from the
-        // hub entrance with maximal reuse.
+        // hub entrance with maximal reuse. The occupancy's one-search claim
+        // engine settles a single Dijkstra from the hub entrance and serves
+        // every candidate below from it: unreachable candidates are
+        // rejected in O(1) (connectivity index or settled costs) and
+        // winning paths reconstruct from the same search, re-searching only
+        // when a claim actually grows the corridor — so a component costs
+        // at most one search, instead of one per candidate entrance.
         s.comps.clear();
         for c in &group.components {
             let pos = s.mapping.phys(c.other);
@@ -598,7 +624,7 @@ impl<'a> MechCompiler<'a> {
         s.comps.sort_by_key(|&(_, _, d)| d);
 
         s.chosen.clear();
-        s.entrance_set.clear();
+        s.entrance_set.begin(self.topo.num_qubits() as usize);
         s.entrance_set.insert(hub_choice.entrance);
         for i in 0..s.comps.len() {
             let (gate, other, _) = s.comps[i];
@@ -624,7 +650,7 @@ impl<'a> MechCompiler<'a> {
                 let o = s.ranked[j];
                 if s.shuttle
                     .occupancy
-                    .claim_route(self.layout, hub_choice.entrance, o.entrance, gid)
+                    .try_claim(self.layout, hub_choice.entrance, o.entrance, gid)
                     .is_ok()
                 {
                     s.entrance_set.insert(o.entrance);
@@ -656,7 +682,6 @@ impl<'a> MechCompiler<'a> {
             s.shuttle.occupancy.release(gid);
             return Vec::new();
         }
-
         // GHZ preparation over the claimed tree, borrowing the claim lists
         // in place. A shuttle is a global highway time window (paper §6.2):
         // nothing belonging to this shuttle may start before the previous
@@ -669,13 +694,14 @@ impl<'a> MechCompiler<'a> {
             s.pc.advance(q, horizon);
         }
         let prep = match self.config.ghz_style {
-            crate::GhzStyle::MeasurementBased => prepare_ghz(
+            crate::GhzStyle::MeasurementBased => prepare_ghz_with(
                 &mut s.pc,
                 self.topo,
                 self.layout,
                 nodes,
                 edges,
                 &s.entrance_set,
+                &mut s.ghz_scratch,
             ),
             crate::GhzStyle::Chain => {
                 prepare_ghz_chain(&mut s.pc, self.topo, self.layout, nodes, edges)

@@ -1,0 +1,326 @@
+//! Incremental free-corridor connectivity index.
+//!
+//! During group assembly the compiler asks, for many candidate entrances,
+//! "can this group's corridor reach that entrance at all?" — and a full
+//! highway search per candidate is wasteful when the answer is a flat no
+//! (the free region is split by other groups' claims). This module keeps a
+//! union-find over the *free* highway nodes, with one **virtual root per
+//! active group** collapsing that group's corridor to a single element,
+//! that answers the question in O(α) *conservatively*:
+//!
+//! * it never reports *unreachable* for a truly reachable pair (so the
+//!   claim engine may skip a candidate without changing any outcome — a
+//!   skipped candidate and a searched-and-failed candidate leave identical
+//!   state), and
+//! * it may report *maybe reachable* for a pair another group's claims
+//!   have since cut off (the cost is one wasted search, never a wrong
+//!   schedule).
+//!
+//! # Structure
+//!
+//! Free–free highway edges union their endpoints in the shared union-find.
+//! A group's virtual root does **not** union into that structure — doing
+//! so would bleed connectivity between groups (two free components merged
+//! through `g`'s corridor would look connected to every *other* group
+//! too). Instead each root privately records the set of free-component
+//! representatives its corridor touches; for group `g`, two nodes are
+//! possibly connected iff they share a free component, or both lie in (or
+//! their components are recorded adjacent to) `g`'s corridor.
+//!
+//! # Invariants
+//!
+//! The index is **exact** immediately after a rebuild. Between rebuilds
+//! only two things happen:
+//!
+//! * **Claims** (free node `q` becomes owned by `g`): handled by recording
+//!   `find(q)` in `g`'s root. Because the free region only *shrinks*
+//!   between rebuilds (no unions run outside a rebuild), `q`'s
+//!   rebuild-time component already contains every node still free and
+//!   adjacent to `q` — so the one record conservatively captures all
+//!   connectivity the claim gives `g`, while stale free–free unions
+//!   through `q` can only over-connect (false positives, never false
+//!   negatives).
+//! * **Releases** free nodes back, which would *add* free-graph edges the
+//!   union-find cannot learn incrementally — so releases mark the index
+//!   dirty and the next query or claim triggers a rebuild
+//!   (*rebuild-on-release* policy). Releases can only restore nodes that
+//!   were free at the last rebuild, so even the stale index stays a
+//!   superset of the true graph, never a subset.
+//!
+//! Together: stored connectivity ⊇ true passable connectivity for every
+//! group, at all times. The proptest oracle suite
+//! (`tests/claim_engine.rs`) churns random claim/release sequences and
+//! checks the conservative direction against a reference search.
+
+use mech_chiplet::{HighwayLayout, PhysQubit};
+
+use crate::occupancy::GroupId;
+
+/// A group's virtual root: its corridor collapsed to one element, plus the
+/// representatives of the free components the corridor touches.
+#[derive(Debug, Clone)]
+struct GroupRoot {
+    group: GroupId,
+    /// Free-component representatives adjacent to the corridor
+    /// (deduplicated; canonical between rebuilds because no unions run
+    /// outside a rebuild). A handful of entries at most.
+    comps: Vec<u32>,
+}
+
+/// Union-find over free highway nodes plus per-group virtual roots,
+/// answering "can group `g` possibly route from `a` to `b` through free or
+/// `g`-owned highway qubits" in O(α).
+///
+/// Owned by [`HighwayOccupancy`](crate::HighwayOccupancy), which feeds it
+/// every claim and release; it is not updated independently.
+#[derive(Debug, Clone)]
+pub struct ConnectivityIndex {
+    /// Union-find parent array over device qubits (only highway slots are
+    /// ever linked).
+    parent: Vec<u32>,
+    /// Union-by-rank companion to `parent`.
+    rank: Vec<u8>,
+    /// Active virtual roots; linear scan (a shuttle holds only a handful
+    /// of groups).
+    roots: Vec<GroupRoot>,
+    /// Recycled root objects (their `comps` capacity survives).
+    root_pool: Vec<GroupRoot>,
+    /// Set by releases; the next `ensure_fresh` rebuilds.
+    dirty: bool,
+}
+
+impl ConnectivityIndex {
+    /// Creates an index for a device with `n` qubits, initially dirty.
+    pub fn new(n: usize) -> Self {
+        ConnectivityIndex {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            roots: Vec::new(),
+            root_pool: Vec::new(),
+            dirty: true,
+        }
+    }
+
+    /// Marks the index stale (a release restored free nodes). The next
+    /// [`ConnectivityIndex::ensure_fresh`] rebuilds.
+    pub fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Rebuilds from the current owner state if dirty: exact free-graph
+    /// components, then per-group adjacency for the surviving claims.
+    pub fn ensure_fresh(&mut self, layout: &HighwayLayout, owner: &[Option<GroupId>]) {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        for (i, p) in self.parent.iter_mut().enumerate() {
+            *p = i as u32;
+        }
+        self.rank.fill(0);
+        for mut root in self.roots.drain(..) {
+            root.comps.clear();
+            self.root_pool.push(root);
+        }
+        // Pass 1: free components. All unions happen here; between
+        // rebuilds the representatives stay canonical.
+        for e in layout.edges() {
+            if owner[e.a.index()].is_none() && owner[e.b.index()].is_none() {
+                self.union(e.a.index(), e.b.index());
+            }
+        }
+        // Pass 2: corridor adjacency, recorded privately per group so one
+        // group's corridor never bleeds connectivity into another's view.
+        for e in layout.edges() {
+            let (oa, ob) = (owner[e.a.index()], owner[e.b.index()]);
+            match (oa, ob) {
+                (Some(g), None) => self.record_adjacency(g, e.b),
+                (None, Some(g)) => self.record_adjacency(g, e.a),
+                _ => {}
+            }
+        }
+    }
+
+    /// Records that free node `q` is now owned by `g` (a claim): `q`'s
+    /// free component becomes adjacent to `g`'s corridor. Must be called
+    /// while the index is fresh.
+    pub fn note_claim(&mut self, q: PhysQubit, g: GroupId) {
+        debug_assert!(!self.dirty, "claims require a fresh index");
+        self.record_adjacency(g, q);
+    }
+
+    /// Conservative reachability for `g` between two *available* highway
+    /// nodes: `false` means no route through free or `g`-owned qubits can
+    /// exist; `true` means a search is worth running.
+    pub fn may_connect(
+        &mut self,
+        a: PhysQubit,
+        b: PhysQubit,
+        g: GroupId,
+        owner: &[Option<GroupId>],
+    ) -> bool {
+        debug_assert!(!self.dirty, "queries require a fresh index");
+        let in_corridor = |o: Option<GroupId>| o.is_some_and(|x| x == g);
+        match (in_corridor(owner[a.index()]), in_corridor(owner[b.index()])) {
+            (true, true) => true,
+            (true, false) => self.corridor_touches(g, b),
+            (false, true) => self.corridor_touches(g, a),
+            (false, false) => {
+                let (ra, rb) = (self.find(a.index()), self.find(b.index()));
+                ra == rb || (self.comp_touches(g, ra) && self.comp_touches(g, rb))
+            }
+        }
+    }
+
+    /// `true` if free node `q`'s component is recorded adjacent to `g`'s
+    /// corridor.
+    fn corridor_touches(&mut self, g: GroupId, q: PhysQubit) -> bool {
+        let r = self.find(q.index());
+        self.comp_touches(g, r)
+    }
+
+    fn comp_touches(&self, g: GroupId, rep: usize) -> bool {
+        self.roots
+            .iter()
+            .find(|root| root.group == g)
+            .is_some_and(|root| root.comps.contains(&(rep as u32)))
+    }
+
+    fn record_adjacency(&mut self, g: GroupId, free: PhysQubit) {
+        let rep = self.find(free.index()) as u32;
+        let root = match self.roots.iter_mut().position(|r| r.group == g) {
+            Some(i) => &mut self.roots[i],
+            None => {
+                let mut root = self.root_pool.pop().unwrap_or(GroupRoot {
+                    group: g,
+                    comps: Vec::new(),
+                });
+                root.group = g;
+                root.comps.clear();
+                self.roots.push(root);
+                self.roots.last_mut().expect("just pushed")
+            }
+        };
+        if !root.comps.contains(&rep) {
+            root.comps.push(rep);
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            // Path halving.
+            let gp = self.parent[self.parent[x] as usize];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mech_chiplet::ChipletSpec;
+
+    fn setup() -> (mech_chiplet::Topology, HighwayLayout) {
+        let topo = ChipletSpec::square(7, 1, 2).build();
+        let hw = HighwayLayout::generate(&topo, 1);
+        (topo, hw)
+    }
+
+    #[test]
+    fn fresh_index_connects_the_whole_free_highway() {
+        let (topo, hw) = setup();
+        let owner = vec![None; topo.num_qubits() as usize];
+        let mut idx = ConnectivityIndex::new(owner.len());
+        idx.ensure_fresh(&hw, &owner);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        assert!(idx.may_connect(a, b, GroupId(0), &owner));
+    }
+
+    #[test]
+    fn claimed_corridor_stays_reachable_for_its_owner() {
+        let (topo, hw) = setup();
+        let mut owner: Vec<Option<GroupId>> = vec![None; topo.num_qubits() as usize];
+        let mut idx = ConnectivityIndex::new(owner.len());
+        idx.ensure_fresh(&hw, &owner);
+        let g = GroupId(7);
+        let a = hw.nodes()[0];
+        idx.note_claim(a, g);
+        owner[a.index()] = Some(g);
+        let b = *hw.nodes().last().unwrap();
+        assert!(idx.may_connect(a, b, g, &owner));
+        // Another group still sees the far pair as maybe-reachable through
+        // the free mesh — never falsely blocked.
+        let c = hw.nodes()[1];
+        assert!(idx.may_connect(c, b, GroupId(8), &owner));
+    }
+
+    #[test]
+    fn one_corridor_does_not_bleed_into_another_groups_view() {
+        let (topo, hw) = setup();
+        let mut owner: Vec<Option<GroupId>> = vec![None; topo.num_qubits() as usize];
+        let g = GroupId(0);
+        // Own a full cut across the mesh (simulating a claimed corridor),
+        // then rebuild: the cut groups' neighbors must not appear
+        // connected to a different group through g's corridor unless the
+        // free mesh itself connects them.
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        for &q in hw.nodes() {
+            // Claim every crossroad: isolates corridor stubs from each
+            // other for everyone but g.
+            if hw.crossroads().contains(&q) {
+                owner[q.index()] = Some(g);
+            }
+        }
+        let mut idx = ConnectivityIndex::new(owner.len());
+        idx.mark_dirty();
+        idx.ensure_fresh(&hw, &owner);
+        // g itself bridges everything through its crossroads.
+        assert!(idx.may_connect(a, b, g, &owner));
+        // A different group cannot cross the claimed crossroads: the
+        // opposite stub ends are cut (this mesh has no crossroad-free
+        // cycle spanning the whole device).
+        assert!(!idx.may_connect(a, b, GroupId(1), &owner));
+    }
+
+    #[test]
+    fn rebuild_after_release_is_exact_again() {
+        let (topo, hw) = setup();
+        let mut owner: Vec<Option<GroupId>> = vec![None; topo.num_qubits() as usize];
+        let mut idx = ConnectivityIndex::new(owner.len());
+        idx.ensure_fresh(&hw, &owner);
+        let g = GroupId(0);
+        for &q in &hw.nodes()[..3] {
+            idx.note_claim(q, g);
+            owner[q.index()] = Some(g);
+        }
+        // Release everything.
+        for q in hw.nodes() {
+            owner[q.index()] = None;
+        }
+        idx.mark_dirty();
+        idx.ensure_fresh(&hw, &owner);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        assert!(idx.may_connect(a, b, GroupId(1), &owner));
+    }
+}

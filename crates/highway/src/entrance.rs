@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mech_chiplet::{HighwayLayout, PhysQubit, Topology};
+use mech_chiplet::{HighwayLayout, PhysQubit, StampMap, Topology};
 
 /// Process-wide count of BFS entrance searches run. Lets tests assert that
 /// the compiler builds its entrance tables once per compilation instead of
@@ -62,28 +62,64 @@ pub fn entrance_candidates(
     from: PhysQubit,
     limit: usize,
 ) -> Vec<EntranceOption> {
+    let mut scratch = SearchScratch::default();
+    entrance_candidates_with(topo, layout, from, limit, &mut scratch)
+}
+
+/// Stamped BFS workspace shared across the per-qubit searches of a table
+/// build (the distance map is invalidated in O(1) instead of reallocated
+/// per data qubit).
+#[derive(Default)]
+struct SearchScratch {
+    dist: StampMap<u32>,
+    queue: VecDeque<PhysQubit>,
+}
+
+impl SearchScratch {
+    fn begin(&mut self, n: usize) {
+        self.dist.begin(n);
+        self.queue.clear();
+    }
+
+    fn dist(&self, q: PhysQubit) -> u32 {
+        self.dist.get(q).unwrap_or(u32::MAX)
+    }
+
+    fn set_dist(&mut self, q: PhysQubit, d: u32) {
+        self.dist.insert(q, d);
+    }
+}
+
+/// [`entrance_candidates`] against a caller-provided workspace.
+fn entrance_candidates_with(
+    topo: &Topology,
+    layout: &HighwayLayout,
+    from: PhysQubit,
+    limit: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<EntranceOption> {
     assert!(
         !layout.is_highway(from),
         "entrance search starts from a data qubit"
     );
     SEARCHES.fetch_add(1, Ordering::Relaxed);
     let mut options: Vec<EntranceOption> = Vec::new();
-    let mut dist = vec![u32::MAX; topo.num_qubits() as usize];
-    dist[from.index()] = 0;
-    let mut queue = VecDeque::from([from]);
+    scratch.begin(topo.num_qubits() as usize);
+    scratch.set_dist(from, 0);
+    scratch.queue.push_back(from);
 
-    while let Some(v) = queue.pop_front() {
+    while let Some(v) = scratch.queue.pop_front() {
         // Every highway neighbor of this data position is an entrance.
         for link in topo.neighbors(v) {
             if layout.is_highway(link.to)
                 && !options
                     .iter()
-                    .any(|o| o.entrance == link.to && o.distance <= dist[v.index()])
+                    .any(|o| o.entrance == link.to && o.distance <= scratch.dist(v))
             {
                 options.push(EntranceOption {
                     entrance: link.to,
                     access: v,
-                    distance: dist[v.index()],
+                    distance: scratch.dist(v),
                 });
             }
         }
@@ -92,9 +128,10 @@ pub fn entrance_candidates(
         }
         for link in topo.neighbors(v) {
             let n = link.to;
-            if !layout.is_highway(n) && dist[n.index()] == u32::MAX {
-                dist[n.index()] = dist[v.index()] + 1;
-                queue.push_back(n);
+            if !layout.is_highway(n) && scratch.dist(n) == u32::MAX {
+                let d = scratch.dist(v) + 1;
+                scratch.set_dist(n, d);
+                scratch.queue.push_back(n);
             }
         }
     }
@@ -134,8 +171,9 @@ impl EntranceTable {
     /// up to `limit` options each.
     pub fn build(topo: &Topology, layout: &HighwayLayout, limit: usize) -> Self {
         let mut options = vec![Vec::new(); topo.num_qubits() as usize];
+        let mut scratch = SearchScratch::default();
         for q in layout.data_qubits() {
-            options[q.index()] = entrance_candidates(topo, layout, q, limit);
+            options[q.index()] = entrance_candidates_with(topo, layout, q, limit, &mut scratch);
         }
         EntranceTable { options }
     }

@@ -18,7 +18,9 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use mech_chiplet::{HighwayEdgeKind, HighwayLayout, PhysCircuit, PhysQubit, Topology};
+use mech_chiplet::{
+    HighwayEdgeKind, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, StampMap, Topology,
+};
 
 /// The result of a GHZ preparation: which claimed qubits stayed in the
 /// entangled state and when it became usable.
@@ -102,6 +104,46 @@ pub fn prepare_ghz_chain(
     }
 }
 
+/// Reusable workspace for [`prepare_ghz`]: adjacency lists, color stamps
+/// and work queues kept alive across the many preparations of one
+/// compilation, so each prep allocates only its returned `live` list.
+#[derive(Debug, Clone, Default)]
+pub struct GhzScratch {
+    /// `adj[q]` = claimed-tree neighbors of `q`. Only claimed nodes are
+    /// touched; their lists are cleared at the start of each prep.
+    adj: Vec<Vec<PhysQubit>>,
+    /// Tree 2-coloring.
+    color: StampMap<u8>,
+    /// Used-color bitmask per node for the greedy edge coloring.
+    node_colors: StampMap<u16>,
+    edge_color: Vec<u8>,
+    queue: VecDeque<PhysQubit>,
+    to_measure: Vec<PhysQubit>,
+    reentangle: Vec<(PhysQubit, PhysQubit)>,
+}
+
+impl GhzScratch {
+    fn begin(&mut self, n: usize, nodes: &[PhysQubit]) {
+        if self.adj.len() < n {
+            self.adj.resize_with(n, Vec::new);
+        }
+        for &q in nodes {
+            self.adj[q.index()].clear();
+        }
+        self.color.begin(n);
+        self.node_colors.begin(n);
+        self.edge_color.clear();
+        self.queue.clear();
+        self.to_measure.clear();
+        self.reentangle.clear();
+    }
+
+    fn mark_node_color(&mut self, q: PhysQubit, c: u8) {
+        let mask = self.node_colors.get(q).unwrap_or(0) | (1 << c);
+        self.node_colors.insert(q, mask);
+    }
+}
+
 /// Prepares a GHZ state across `nodes`, entangling along `edges` (pairs of
 /// adjacent highway qubits as recorded by
 /// [`HighwayOccupancy`](crate::HighwayOccupancy)). Qubits in `entrances`
@@ -120,7 +162,22 @@ pub fn prepare_ghz(
     layout: &HighwayLayout,
     nodes: &[PhysQubit],
     edges: &[(PhysQubit, PhysQubit)],
-    entrances: &HashSet<PhysQubit>,
+    entrances: &impl QubitSet,
+) -> GhzPrep {
+    let mut scratch = GhzScratch::default();
+    prepare_ghz_with(pc, topo, layout, nodes, edges, entrances, &mut scratch)
+}
+
+/// [`prepare_ghz`] against a caller-provided [`GhzScratch`] (the compiler
+/// keeps one per session, so per-group preparations stay allocation-free).
+pub fn prepare_ghz_with(
+    pc: &mut PhysCircuit,
+    topo: &Topology,
+    layout: &HighwayLayout,
+    nodes: &[PhysQubit],
+    edges: &[(PhysQubit, PhysQubit)],
+    entrances: &impl QubitSet,
+    s: &mut GhzScratch,
 ) -> GhzPrep {
     assert!(
         !nodes.is_empty(),
@@ -140,27 +197,24 @@ pub fn prepare_ghz(
         };
     }
 
+    s.begin(topo.num_qubits() as usize, nodes);
+
     // Cluster state: entangle along each claimed edge. Ops are scheduled
     // ASAP in emission order, so edges are emitted color class by color
     // class (greedy edge coloring): non-conflicting edges land in the same
     // layer and the stage keeps its constant depth no matter how long the
     // path is.
-    let mut edge_color: Vec<u8> = vec![0; edges.len()];
-    {
-        let mut node_colors: HashMap<PhysQubit, u16> = HashMap::new();
-        for (i, &(a, b)) in edges.iter().enumerate() {
-            let used = node_colors.get(&a).copied().unwrap_or(0)
-                | node_colors.get(&b).copied().unwrap_or(0);
-            let color = (0..16).find(|c| used & (1 << c) == 0).unwrap_or(15) as u8;
-            edge_color[i] = color;
-            *node_colors.entry(a).or_insert(0) |= 1 << color;
-            *node_colors.entry(b).or_insert(0) |= 1 << color;
-        }
+    for &(a, b) in edges {
+        let used = s.node_colors.get(a).unwrap_or(0) | s.node_colors.get(b).unwrap_or(0);
+        let color = (0..16).find(|c| used & (1 << c) == 0).unwrap_or(15) as u8;
+        s.edge_color.push(color);
+        s.mark_node_color(a, color);
+        s.mark_node_color(b, color);
     }
-    let max_color = edge_color.iter().copied().max().unwrap_or(0);
+    let max_color = s.edge_color.iter().copied().max().unwrap_or(0);
     for color in 0..=max_color {
         for (i, &(a, b)) in edges.iter().enumerate() {
-            if edge_color[i] != color {
+            if s.edge_color[i] != color {
                 continue;
             }
             let edge = layout
@@ -177,64 +231,61 @@ pub fn prepare_ghz(
         }
     }
 
-    // 2-color the claimed tree; measure the color-1 class.
-    let adjacency: HashMap<PhysQubit, Vec<PhysQubit>> = {
-        let mut m: HashMap<PhysQubit, Vec<PhysQubit>> = HashMap::new();
-        for &(a, b) in edges {
-            m.entry(a).or_default().push(b);
-            m.entry(b).or_default().push(a);
-        }
-        m
-    };
-    let mut color: HashMap<PhysQubit, u8> = HashMap::new();
+    // 2-color the claimed tree; measure the color-1 class. The adjacency
+    // lists are filled in edge order, so neighbor iteration matches the
+    // claim-order traversal exactly.
+    for &(a, b) in edges {
+        s.adj[a.index()].push(b);
+        s.adj[b.index()].push(a);
+    }
     let root = nodes[0];
-    color.insert(root, 0);
-    let mut queue = VecDeque::from([root]);
-    while let Some(q) = queue.pop_front() {
-        let c = color[&q];
-        for nb in adjacency.get(&q).into_iter().flatten() {
-            if !color.contains_key(nb) {
-                color.insert(*nb, 1 - c);
-                queue.push_back(*nb);
+    s.color.insert(root, 0);
+    let mut colored = 1usize;
+    s.queue.push_back(root);
+    while let Some(q) = s.queue.pop_front() {
+        let c = s.color.get(q).expect("queued nodes are colored");
+        for i in 0..s.adj[q.index()].len() {
+            let nb = s.adj[q.index()][i];
+            if s.color.get(nb).is_none() {
+                s.color.insert(nb, 1 - c);
+                colored += 1;
+                s.queue.push_back(nb);
             }
         }
     }
     assert_eq!(
-        color.len(),
+        colored,
         nodes.len(),
         "claimed edges must connect all claimed nodes"
     );
 
     let mut live: Vec<PhysQubit> = Vec::new();
-    let mut to_measure: Vec<PhysQubit> = Vec::new();
     for &q in nodes {
-        if color[&q] == 1 {
-            to_measure.push(q);
+        if s.color.get(q) == Some(1) {
+            s.to_measure.push(q);
         } else {
             live.push(q);
         }
     }
     // Degenerate case: a 2-node path measures one end; keep at least one.
     if live.is_empty() {
-        live.push(to_measure.pop().expect("nonempty"));
+        live.push(s.to_measure.pop().expect("nonempty"));
     }
 
     let mut outcome_time = 0u64;
     let mut measured = Vec::new();
-    let mut reentangle: Vec<(PhysQubit, PhysQubit)> = Vec::new();
-    for q in to_measure {
+    for i in 0..s.to_measure.len() {
+        let q = s.to_measure[i];
         let done = pc.measure(q);
         outcome_time = outcome_time.max(done);
-        if entrances.contains(&q) {
+        if entrances.contains_qubit(q) {
             // Re-entangle from the nearest live neighbor.
-            let nb = adjacency
-                .get(&q)
-                .into_iter()
-                .flatten()
-                .find(|n| color[n] == 0)
+            let nb = s.adj[q.index()]
+                .iter()
+                .find(|n| s.color.get(**n) == Some(0))
                 .copied()
                 .expect("a measured qubit always has a live neighbor in the tree");
-            reentangle.push((nb, q));
+            s.reentangle.push((nb, q));
         } else {
             measured.push(q);
         }
@@ -246,7 +297,8 @@ pub fn prepare_ghz(
         pc.advance(q, outcome_time);
         pc.one_qubit(q); // correction (free)
     }
-    for (nb, q) in reentangle {
+    for i in 0..s.reentangle.len() {
+        let (nb, q) = s.reentangle[i];
         pc.advance(q, outcome_time);
         // Re-entanglement uses the same mechanism as the edge that connects
         // the pair: direct/cross CNOT or a bridge through the interval.

@@ -1,10 +1,25 @@
 //! Spatial sharing of the highway: path claiming with maximal reuse.
+//!
+//! Claiming is built around a **one-search engine**: a single Dijkstra
+//! from a search origin (the hub entrance, during group assembly) settles
+//! the minimal-new-claim cost to *every* highway node at once, and stays
+//! valid until the owner state changes. Against a settled search,
+//! candidate destinations are accepted or rejected in O(1) and winning
+//! paths are reconstructed from the same cost field — provably the path a
+//! dedicated per-candidate search would have found, since both are pure
+//! in `(owner, group, origin, destination)` (see
+//! [`RoutingScratch::reconstruct_path`] for the argument, and
+//! `DESIGN.md` §9 for the engine contract). A union-find
+//! [`ConnectivityIndex`](crate::ConnectivityIndex) pre-filters candidates
+//! that cannot be reached at all, so hopeless claims cost O(α) instead of
+//! a search.
 
-use std::cmp::Reverse;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use mech_chiplet::{HighwayLayout, PhysQubit, RoutingScratch, UNREACHED};
+
+use crate::connectivity::ConnectivityIndex;
 
 /// Identifier of a multi-target gate currently holding highway resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -42,6 +57,17 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// The resources one group holds: claimed qubits and traversed edges, both
+/// in claim order (the GHZ preparation entangles exactly these).
+#[derive(Debug, Clone, Default)]
+struct GroupClaim {
+    nodes: Vec<PhysQubit>,
+    edges: Vec<(PhysQubit, PhysQubit)>,
+    /// Occupancy-unique stamp marking this claim's entries in `edge_seen`
+    /// (never reused, so releases need no cleanup).
+    stamp: u32,
+}
+
 /// Tracks which highway qubits are occupied by which multi-target gate
 /// during the current shuttle, and routes new components over the highway
 /// graph.
@@ -50,6 +76,11 @@ impl std::error::Error for RouteError {}
 /// qubits already owned by the same gate cost 0, free qubits cost 1, and
 /// qubits owned by other gates are impassable (paper §6.1, highway
 /// routing).
+///
+/// An occupancy table is built for one device and used with one
+/// [`HighwayLayout`] for its whole life (the compiler creates one per
+/// compilation); the internal adjacency and connectivity caches rely on
+/// this.
 ///
 /// # Example
 ///
@@ -70,23 +101,80 @@ impl std::error::Error for RouteError {}
 #[derive(Debug, Clone)]
 pub struct HighwayOccupancy {
     owner: Vec<Option<GroupId>>,
-    /// Edges (node pairs) actually traversed, per group — the GHZ
-    /// preparation entangles exactly these.
-    edges: HashMap<GroupId, Vec<(PhysQubit, PhysQubit)>>,
-    nodes: HashMap<GroupId, Vec<PhysQubit>>,
+    groups: HashMap<GroupId, GroupClaim>,
+    /// Groups holding resources, kept sorted incrementally.
+    active: Vec<GroupId>,
+    /// Number of currently claimed qubits, maintained incrementally.
+    claimed: usize,
+    /// Recycled claim buffers (released groups return here).
+    claim_pool: Vec<GroupClaim>,
+    /// `edge_seen[edge index] = stamp` of the group whose edge list holds
+    /// that layout edge — O(1) dedup during claims.
+    edge_seen: Vec<u32>,
+    next_stamp: u32,
     /// Reusable routing workspace (same mechanism as the local router).
     scratch: RoutingScratch,
+    /// Flat CSR adjacency over highway nodes, copied from the layout on
+    /// first use: `adj_node[adj_start[q]..adj_start[q+1]]` are `q`'s
+    /// highway neighbors, `adj_edge` the matching layout edge indices.
+    adj_start: Vec<u32>,
+    adj_node: Vec<PhysQubit>,
+    adj_edge: Vec<u32>,
+    /// Dial buckets for the claim search, indexed by primary cost (sized
+    /// at graph build; always drained empty by the search).
+    buckets: Vec<VecDeque<PhysQubit>>,
+    graph_built: bool,
+    /// Address of the layout's edge buffer the caches were built from,
+    /// plus a spot-checked edge — a best-effort identity check that the
+    /// one-table-one-layout contract holds.
+    graph_addr: usize,
+    graph_last_edge: Option<(PhysQubit, PhysQubit)>,
+    /// `(origin, group)` of the search currently live in `scratch`.
+    search_key: Option<(PhysQubit, GroupId)>,
+    /// Owner-state generation the live search was computed at.
+    search_epoch: u64,
+    /// Next bucket the live search will drain (all primaries below are
+    /// final).
+    search_next: usize,
+    /// Entries still queued in the live search's buckets.
+    search_pending: usize,
+    /// Bumped on every owner change; a mismatch invalidates the search.
+    owner_epoch: u64,
+    /// O(α) reachability pre-filter.
+    connectivity: ConnectivityIndex,
+    searches: u64,
+    skips: u64,
 }
 
 impl HighwayOccupancy {
     /// Creates an empty occupancy table for a device with
     /// `topo.num_qubits()` qubits.
     pub fn new(topo: &mech_chiplet::Topology) -> Self {
+        let n = topo.num_qubits() as usize;
         HighwayOccupancy {
-            owner: vec![None; topo.num_qubits() as usize],
-            edges: HashMap::new(),
-            nodes: HashMap::new(),
+            owner: vec![None; n],
+            groups: HashMap::new(),
+            active: Vec::new(),
+            claimed: 0,
+            claim_pool: Vec::new(),
+            edge_seen: Vec::new(),
+            next_stamp: 1,
             scratch: RoutingScratch::default(),
+            adj_start: Vec::new(),
+            adj_node: Vec::new(),
+            adj_edge: Vec::new(),
+            buckets: Vec::new(),
+            graph_built: false,
+            graph_addr: 0,
+            graph_last_edge: None,
+            search_key: None,
+            search_epoch: 0,
+            search_next: 0,
+            search_pending: 0,
+            owner_epoch: 0,
+            connectivity: ConnectivityIndex::new(n),
+            searches: 0,
+            skips: 0,
         }
     }
 
@@ -102,24 +190,66 @@ impl HighwayOccupancy {
 
     /// The qubits claimed by `g`, in claim order.
     pub fn nodes_of(&self, g: GroupId) -> &[PhysQubit] {
-        self.nodes.get(&g).map_or(&[], Vec::as_slice)
+        self.groups.get(&g).map_or(&[], |c| c.nodes.as_slice())
     }
 
     /// The highway edges traversed by `g`'s routes.
     pub fn edges_of(&self, g: GroupId) -> &[(PhysQubit, PhysQubit)] {
-        self.edges.get(&g).map_or(&[], Vec::as_slice)
+        self.groups.get(&g).map_or(&[], |c| c.edges.as_slice())
     }
 
-    /// All groups holding resources.
-    pub fn active_groups(&self) -> Vec<GroupId> {
-        let mut gs: Vec<GroupId> = self.nodes.keys().copied().collect();
-        gs.sort();
-        gs
+    /// All groups holding resources, ascending (maintained incrementally;
+    /// no allocation or sort per call).
+    pub fn active_groups(&self) -> &[GroupId] {
+        &self.active
+    }
+
+    /// Full claim-engine searches run so far (diagnostic; monotone over the
+    /// table's life).
+    pub fn claim_searches(&self) -> u64 {
+        self.searches
+    }
+
+    /// Claim attempts resolved *without* running a search so far: settled
+    /// results reused across candidates, connectivity pre-filter
+    /// rejections, trivial self-claims, and endpoint-unavailable
+    /// rejections (diagnostic; monotone — every attempt counts here or in
+    /// [`HighwayOccupancy::claim_searches`], never both).
+    pub fn claim_skips(&self) -> u64 {
+        self.skips
+    }
+
+    /// Conservative O(α) pre-filter: `false` guarantees that
+    /// [`HighwayOccupancy::claim_route`] from `from` to `to` for `g` would
+    /// fail (an endpoint is unavailable, or every route crosses another
+    /// gate's claim); `true` means a claim may succeed and a search is
+    /// worth running. Never falsely negative — see
+    /// [`ConnectivityIndex`](crate::ConnectivityIndex).
+    pub fn may_reach(
+        &mut self,
+        layout: &HighwayLayout,
+        from: PhysQubit,
+        to: PhysQubit,
+        g: GroupId,
+    ) -> bool {
+        if !self.available_for(from, g) || !self.available_for(to, g) {
+            return false;
+        }
+        if from == to {
+            return true;
+        }
+        self.connectivity.ensure_fresh(layout, &self.owner);
+        self.connectivity.may_connect(from, to, g, &self.owner)
     }
 
     /// Routes from `from` to `to` over the highway graph and claims the
     /// path for `g`, minimizing newly claimed qubits (reuse within the same
     /// gate is free). Returns the node path including both endpoints.
+    ///
+    /// Consecutive claims sharing an origin and owner state reuse one
+    /// settled search: rejections and acceptances after the first claim
+    /// are O(1) until a claim actually grows the owner set (see the
+    /// module docs).
     ///
     /// # Errors
     ///
@@ -133,100 +263,325 @@ impl HighwayOccupancy {
         to: PhysQubit,
         g: GroupId,
     ) -> Result<Vec<PhysQubit>, RouteError> {
+        self.try_claim(layout, from, to, g)?;
+        Ok(self.scratch.path.clone())
+    }
+
+    /// [`HighwayOccupancy::claim_route`] without materializing the path:
+    /// claims in place and reports only success. The compiler's group
+    /// assembly uses this — it reads the claims back via
+    /// [`HighwayOccupancy::nodes_of`] / [`HighwayOccupancy::edges_of`], so
+    /// the per-claim path allocation would be pure overhead.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`HighwayOccupancy::claim_route`].
+    pub fn try_claim(
+        &mut self,
+        layout: &HighwayLayout,
+        from: PhysQubit,
+        to: PhysQubit,
+        g: GroupId,
+    ) -> Result<(), RouteError> {
         for q in [from, to] {
             if !layout.is_highway(q) {
                 return Err(RouteError::NotHighway { qubit: q });
             }
         }
         if !self.available_for(from, g) || !self.available_for(to, g) {
+            self.skips += 1;
+            return Err(RouteError::Congested);
+        }
+        self.ensure_graph(layout);
+        self.connectivity.ensure_fresh(layout, &self.owner);
+
+        // Trivial self-claim (hub entrances): no search required.
+        if from == to {
+            self.skips += 1;
+            self.scratch.path.clear();
+            self.scratch.path.push(from);
+            self.apply_claim(g);
+            return Ok(());
+        }
+
+        // O(α) pre-filter: candidates the free-corridor index proves
+        // unreachable fail exactly like a searched-and-congested candidate
+        // would — with no state change — so skipping the search is safe.
+        // (The index is conservative by construction; the proptest oracle
+        // suite churns random claims against a reference search to pin the
+        // never-false-negative direction.)
+        if !self.connectivity.may_connect(from, to, g, &self.owner) {
+            self.skips += 1;
             return Err(RouteError::Congested);
         }
 
-        // Dijkstra over highway nodes; cost = number of nodes not yet owned
-        // by `g` (ties broken by hop count for shorter GHZ chains). Runs in
-        // the reusable generation-stamped scratch, so claiming allocates
-        // only the returned path. Predecessors are reconstructed backwards
-        // by minimum-id neighbor, matching the prev tree of the
-        // `(cost, hops, qubit)`-ordered forward search exactly.
-        let owner = &self.owner;
-        let scratch = &mut self.scratch;
-        let owned = |q: PhysQubit| owner[q.index()] == Some(g);
-        let avail = |q: PhysQubit| owner[q.index()].is_none_or(|o| o == g);
-        scratch.begin(owner.len());
-        let start_cost = (u32::from(!owned(from)), 0);
-        scratch.set_cost(from, start_cost);
-        scratch.heap.push(Reverse((start_cost, from)));
-
-        while let Some(Reverse((cost, q))) = scratch.heap.pop() {
-            if cost > scratch.cost(q) {
-                continue;
-            }
-            if q == to {
-                break;
-            }
-            for nb in layout.highway_neighbors(q) {
-                if !avail(nb) {
-                    continue;
-                }
-                let ncost = (cost.0 + u32::from(!owned(nb)), cost.1 + 1);
-                if ncost < scratch.cost(nb) {
-                    scratch.set_cost(nb, ncost);
-                    scratch.heap.push(Reverse((ncost, nb)));
-                }
-            }
+        if self.search_key != Some((from, g)) || self.search_epoch != self.owner_epoch {
+            self.begin_search(from, g);
+        } else {
+            self.skips += 1;
         }
-
-        if scratch.cost(to) == UNREACHED {
+        if !self.advance_search_to(to, g) {
             return Err(RouteError::Congested);
         }
+        self.reconstruct(from, to, g);
+        self.apply_claim(g);
+        Ok(())
+    }
 
+    /// Starts a fresh one-search pass from `from` for `g`, invalidating
+    /// any previous search state.
+    ///
+    /// Cost is `(newly claimed qubits, hops)` lexicographically — entering
+    /// a free node costs 1, a `g`-owned node 0, other-owned nodes are
+    /// impassable. With 0/1 node weights the search runs as a Dial-style
+    /// bucket scan over the primary cost (FIFO within a bucket, so hops
+    /// settle in BFS order): each bucket drains to a fixpoint before the
+    /// next starts, so once bucket `p` has drained every cost with primary
+    /// ≤ `p` is final — the unique fixpoint of the same relaxation a heap
+    /// Dijkstra computes, with no heap traffic. The scan is *lazy*:
+    /// [`HighwayOccupancy::advance_search_to`] drains only as many buckets
+    /// as the queried destination needs and resumes where it stopped, so
+    /// near-corridor candidates cost a fraction of the full graph while
+    /// one search still serves every destination.
+    fn begin_search(&mut self, from: PhysQubit, g: GroupId) {
+        if self.search_pending > 0 {
+            // An invalidated search left queued entries behind (it only
+            // drained as far as its claims needed).
+            for bucket in &mut self.buckets[self.search_next..] {
+                bucket.clear();
+            }
+            self.search_pending = 0;
+        }
+        self.scratch.begin(self.owner.len());
+        let start = (u32::from(self.owner[from.index()] != Some(g)), 0);
+        self.scratch.set_cost(from, start);
+        self.buckets[start.0 as usize].push_back(from);
+        self.search_next = start.0 as usize;
+        self.search_pending = 1;
+        self.search_key = Some((from, g));
+        self.search_epoch = self.owner_epoch;
+        self.searches += 1;
+    }
+
+    /// Drains the live search until `to`'s cost is final (returning `true`)
+    /// or the search is exhausted with `to` unreached (`false`).
+    fn advance_search_to(&mut self, to: PhysQubit, g: GroupId) -> bool {
+        loop {
+            let c = self.scratch.cost(to);
+            if c != UNREACHED && (c.0 as usize) < self.search_next {
+                return true;
+            }
+            if self.search_pending == 0 {
+                return false;
+            }
+            let Self {
+                owner,
+                scratch,
+                adj_start,
+                adj_node,
+                buckets,
+                search_next,
+                search_pending,
+                ..
+            } = self;
+            let p = *search_next;
+            while let Some(q) = buckets[p].pop_front() {
+                *search_pending -= 1;
+                let cost = scratch.cost(q);
+                if cost.0 != p as u32 {
+                    continue; // superseded by a cheaper bucket
+                }
+                let lo = adj_start[q.index()] as usize;
+                let hi = adj_start[q.index() + 1] as usize;
+                for &nb in &adj_node[lo..hi] {
+                    let o = owner[nb.index()];
+                    if o.is_some_and(|o| o != g) {
+                        continue;
+                    }
+                    let ncost = (cost.0 + u32::from(o.is_none()), cost.1 + 1);
+                    if ncost < scratch.cost(nb) {
+                        scratch.set_cost(nb, ncost);
+                        buckets[ncost.0 as usize].push_back(nb);
+                        *search_pending += 1;
+                    }
+                }
+            }
+            *search_next += 1;
+        }
+    }
+
+    /// Reconstructs the minimal-new-claim path from the settled search into
+    /// the scratch path buffer, walking backwards by minimum-id
+    /// predecessor — exactly the prev tree of the `(cost, hops, qubit)`-
+    /// ordered forward search (see [`RoutingScratch::reconstruct_path`]).
+    fn reconstruct(&mut self, from: PhysQubit, to: PhysQubit, g: GroupId) {
+        let Self {
+            owner,
+            scratch,
+            adj_start,
+            adj_node,
+            ..
+        } = self;
         scratch.reconstruct_path(
             from,
             to,
-            |q| (u32::from(!owned(q)), 1),
-            |q| layout.highway_neighbors(q),
+            |q| (u32::from(owner[q.index()] != Some(g)), 1),
+            |q| {
+                let lo = adj_start[q.index()] as usize;
+                let hi = adj_start[q.index() + 1] as usize;
+                adj_node[lo..hi].iter().copied()
+            },
         );
-        let path = scratch.path.clone();
-        debug_assert_eq!(path[0], from);
+        debug_assert_eq!(scratch.path[0], from);
+    }
 
-        let group_nodes = self.nodes.entry(g).or_default();
-        for &q in &path {
-            if self.owner[q.index()].is_none() {
-                self.owner[q.index()] = Some(g);
-                group_nodes.push(q);
+    /// Claims every unowned node of the scratch path for `g` and records
+    /// the traversed edges, deduplicated in O(1) via the edge-stamp table.
+    /// Growing the owner set bumps the epoch, invalidating settled
+    /// searches.
+    fn apply_claim(&mut self, g: GroupId) {
+        if !self.groups.contains_key(&g) {
+            let mut claim = self.claim_pool.pop().unwrap_or_default();
+            claim.nodes.clear();
+            claim.edges.clear();
+            claim.stamp = self.next_stamp;
+            self.next_stamp += 1;
+            self.groups.insert(g, claim);
+            let pos = self
+                .active
+                .binary_search(&g)
+                .expect_err("group cannot be active without resources");
+            self.active.insert(pos, g);
+        }
+        let Self {
+            owner,
+            groups,
+            claimed,
+            edge_seen,
+            scratch,
+            adj_start,
+            adj_node,
+            adj_edge,
+            owner_epoch,
+            connectivity,
+            ..
+        } = self;
+        let path = scratch.path.as_slice();
+        let claim = groups.get_mut(&g).expect("inserted above");
+        let mut grew = false;
+        for &q in path {
+            if owner[q.index()].is_none() {
+                owner[q.index()] = Some(g);
+                *claimed += 1;
+                grew = true;
+                connectivity.note_claim(q, g);
+                claim.nodes.push(q);
             }
         }
-        let group_edges = self.edges.entry(g).or_default();
+        if grew {
+            *owner_epoch += 1;
+        }
         for w in path.windows(2) {
-            let key = (w[0].min(w[1]), w[0].max(w[1]));
-            if !group_edges.contains(&key) {
-                group_edges.push(key);
+            let lo = adj_start[w[0].index()] as usize;
+            let hi = adj_start[w[0].index() + 1] as usize;
+            let slot = (lo..hi)
+                .find(|&i| adj_node[i] == w[1])
+                .expect("claimed paths step along highway edges");
+            let eid = adj_edge[slot] as usize;
+            if edge_seen[eid] != claim.stamp {
+                edge_seen[eid] = claim.stamp;
+                claim.edges.push((w[0].min(w[1]), w[0].max(w[1])));
             }
         }
-        Ok(path)
+    }
+
+    /// Builds the flat adjacency copy of the layout's highway graph on
+    /// first use.
+    fn ensure_graph(&mut self, layout: &HighwayLayout) {
+        if self.graph_built {
+            // Loud in release too: silently routing over a cached copy of
+            // a different layout's graph would corrupt schedules. Best
+            // effort in O(1): buffer address (stable across layout moves),
+            // edge count, and an endpoint spot-check — an exhaustive
+            // content compare would cost O(E) on every claim.
+            assert!(
+                self.graph_addr == layout.edges().as_ptr() as usize
+                    && self.edge_seen.len() == layout.edges().len()
+                    && layout.edges().last().map(|e| (e.a, e.b)) == self.graph_last_edge,
+                "one HighwayOccupancy serves one HighwayLayout"
+            );
+            return;
+        }
+        self.graph_built = true;
+        self.graph_addr = layout.edges().as_ptr() as usize;
+        self.graph_last_edge = layout.edges().last().map(|e| (e.a, e.b));
+        let n = self.owner.len();
+        let edges = layout.edges();
+        // Primary cost ≤ one per distinct highway node on a path.
+        self.buckets = vec![VecDeque::new(); layout.nodes().len() + 2];
+        self.edge_seen = vec![0; edges.len()];
+        self.adj_start = vec![0; n + 1];
+        for e in edges {
+            self.adj_start[e.a.index() + 1] += 1;
+            self.adj_start[e.b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            self.adj_start[i + 1] += self.adj_start[i];
+        }
+        self.adj_node = vec![PhysQubit(0); 2 * edges.len()];
+        self.adj_edge = vec![0; 2 * edges.len()];
+        let mut cursor: Vec<u32> = self.adj_start[..n].to_vec();
+        for (idx, e) in edges.iter().enumerate() {
+            for (x, y) in [(e.a, e.b), (e.b, e.a)] {
+                let c = cursor[x.index()] as usize;
+                self.adj_node[c] = y;
+                self.adj_edge[c] = idx as u32;
+                cursor[x.index()] += 1;
+            }
+        }
     }
 
     /// Releases the resources of a single group (used when a gate fails to
     /// assemble and abandons its claims before executing anything).
     pub fn release(&mut self, g: GroupId) {
-        if let Some(nodes) = self.nodes.remove(&g) {
-            for q in nodes {
+        if let Some(mut claim) = self.groups.remove(&g) {
+            for &q in &claim.nodes {
                 self.owner[q.index()] = None;
             }
+            self.claimed -= claim.nodes.len();
+            claim.nodes.clear();
+            claim.edges.clear();
+            self.claim_pool.push(claim);
+            if let Ok(pos) = self.active.binary_search(&g) {
+                self.active.remove(pos);
+            }
+            // Freed nodes add free-graph edges the union-find cannot learn
+            // incrementally: rebuild-on-release.
+            self.connectivity.mark_dirty();
+            self.owner_epoch += 1;
         }
-        self.edges.remove(&g);
     }
 
     /// Releases everything (end of shuttle).
     pub fn release_all(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
         self.owner.iter_mut().for_each(|o| *o = None);
-        self.edges.clear();
-        self.nodes.clear();
+        self.claimed = 0;
+        for (_, mut claim) in self.groups.drain() {
+            claim.nodes.clear();
+            claim.edges.clear();
+            self.claim_pool.push(claim);
+        }
+        self.active.clear();
+        self.connectivity.mark_dirty();
+        self.owner_epoch += 1;
     }
 
-    /// Number of currently claimed qubits.
+    /// Number of currently claimed qubits (O(1), maintained incrementally).
     pub fn claimed_count(&self) -> usize {
-        self.owner.iter().filter(|o| o.is_some()).count()
+        self.claimed
     }
 }
 
@@ -268,6 +623,31 @@ mod tests {
         let mid = first[first.len() / 2];
         occ.claim_route(&hw, a, mid, GroupId(0)).unwrap();
         assert_eq!(occ.claimed_count(), before);
+    }
+
+    #[test]
+    fn settled_search_is_reused_across_zero_growth_claims() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        // The corridor claim grew the owner set, so the next claim settles
+        // one fresh search; every claim after that lies entirely on the
+        // corridor (zero growth) and reuses it.
+        let path = occ.nodes_of(GroupId(0)).to_vec();
+        occ.claim_route(&hw, a, path[1], GroupId(0)).unwrap();
+        let searches = occ.claim_searches();
+        let skips = occ.claim_skips();
+        for &mid in &path[2..path.len() - 1] {
+            occ.claim_route(&hw, a, mid, GroupId(0)).unwrap();
+        }
+        assert_eq!(occ.claim_searches(), searches, "no new search may run");
+        assert_eq!(
+            occ.claim_skips(),
+            skips + (path.len() - 3) as u64,
+            "every reuse claim counts as a skip"
+        );
     }
 
     #[test]
@@ -323,7 +703,65 @@ mod tests {
         occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
         occ.release_all();
         assert_eq!(occ.claimed_count(), 0);
+        assert!(occ.active_groups().is_empty());
         occ.claim_route(&hw, a, b, GroupId(1)).unwrap();
+    }
+
+    #[test]
+    fn release_restores_cross_corridor_reachability() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        assert!(!occ.may_reach(&hw, a, b, GroupId(1)));
+        occ.release(GroupId(0));
+        assert!(occ.may_reach(&hw, a, b, GroupId(1)));
+        occ.claim_route(&hw, a, b, GroupId(1)).unwrap();
+        assert_eq!(occ.active_groups(), vec![GroupId(1)]);
+    }
+
+    #[test]
+    fn prefilter_rejects_cut_off_candidates_without_searching() {
+        let (topo, hw) = setup();
+        let mut occ = HighwayOccupancy::new(&topo);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        occ.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        let free: Vec<PhysQubit> = hw
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|&q| occ.owner(q).is_none())
+            .collect();
+        // Between rebuilds the index is conservative (it may answer
+        // maybe-reachable for freshly cut pairs); a release marks it dirty
+        // and the rebuild snapshots the split mesh exactly.
+        occ.claim_route(&hw, free[0], free[0], GroupId(1)).unwrap();
+        occ.release(GroupId(1));
+        // The corner-to-corner corridor cuts the free mesh: find a pair
+        // the rebuilt index proves separated, then claim it without a
+        // single search.
+        let mut cut = None;
+        'outer: for &x in &free {
+            for &y in &free {
+                if x != y && !occ.may_reach(&hw, x, y, GroupId(1)) {
+                    cut = Some((x, y));
+                    break 'outer;
+                }
+            }
+        }
+        let (x, y) = cut.expect("a corner-to-corner corridor cuts the mesh");
+        let searches = occ.claim_searches();
+        assert_eq!(
+            occ.claim_route(&hw, x, y, GroupId(1)),
+            Err(RouteError::Congested)
+        );
+        assert_eq!(
+            occ.claim_searches(),
+            searches,
+            "prefilter must skip the search"
+        );
     }
 
     #[test]

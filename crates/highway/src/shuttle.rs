@@ -58,7 +58,9 @@ pub struct ShuttleState {
     /// Path/claim bookkeeping (spatial sharing).
     pub occupancy: HighwayOccupancy,
     groups: Vec<ActiveGroup>,
-    live: HashMap<GroupId, HashSet<PhysQubit>>,
+    /// Live GHZ qubits per group, sorted ascending (binary-search
+    /// membership; deterministic iteration for the closing measurements).
+    live: HashMap<GroupId, Vec<PhysQubit>>,
     /// hub_mask[q] = q is the hub data position of an open group. Updated
     /// incrementally by `register_group`/`close` so the routing-time pinned
     /// set never has to be rebuilt.
@@ -167,7 +169,10 @@ impl ShuttleState {
         group: ActiveGroup,
         live: impl IntoIterator<Item = PhysQubit>,
     ) {
-        self.live.insert(group.id, live.into_iter().collect());
+        let mut qs: Vec<PhysQubit> = live.into_iter().collect();
+        qs.sort_unstable();
+        qs.dedup(); // the old set-based storage absorbed duplicates
+        self.live.insert(group.id, qs);
         self.hub_mask[group.hub_data.index()] = true;
         self.groups.push(group);
         self.stats.highway_gates += 1;
@@ -209,10 +214,10 @@ impl ShuttleState {
         entrance: PhysQubit,
     ) -> u64 {
         let live = self.live.get_mut(&gid).expect("group is registered");
-        assert!(
-            live.remove(&entrance),
-            "hub entrance {entrance} is not live for {gid}"
-        );
+        let pos = live
+            .binary_search(&entrance)
+            .unwrap_or_else(|_| panic!("hub entrance {entrance} is not live for {gid}"));
+        live.remove(pos);
         pc.two_qubit(topo, hub_data, entrance);
         let outcome = pc.measure(entrance);
         for &q in live.iter() {
@@ -238,7 +243,9 @@ impl ShuttleState {
         access: PhysQubit,
     ) -> u64 {
         assert!(
-            self.live.get(&gid).is_some_and(|l| l.contains(&entrance)),
+            self.live
+                .get(&gid)
+                .is_some_and(|l| l.binary_search(&entrance).is_ok()),
             "component entrance {entrance} is not live for {gid}"
         );
         // Basis changes on the data qubit (CZ vs CX vs CP) are free 1-qubit

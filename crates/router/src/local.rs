@@ -222,8 +222,7 @@ impl<'a> LocalRouter<'a> {
             }
         }
 
-        let (total, _) = scratch.cost(to);
-        if total == u32::MAX {
+        if !scratch.reached(to) {
             return Err(RoutingError::Disconnected { from, to });
         }
 
