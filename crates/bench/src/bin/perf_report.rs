@@ -8,6 +8,7 @@
 //! ```text
 //! cargo run --release -p mech-bench --bin perf_report -- \
 //!     [--quick] [--label <name>] [--out <path>] [--iters <k>] [--threads <t>]
+//! cargo run --release -p mech-bench --bin perf_report -- --check [--out <path>]
 //! ```
 //!
 //! `--quick` shrinks the device for a CI smoke run; `--label` names the run
@@ -25,6 +26,15 @@
 //! fast paths engage on the QFT family (nonzero skips, searches below the
 //! component count) — a CI-smoke guard against the one-search engine
 //! silently regressing to per-candidate searches.
+//!
+//! `--check` runs no benchmarks: it parses the *committed*
+//! `BENCH_compile.json` and asserts the recorded perf trajectory — the
+//! `post-csr` run must hold the CSR routing-substrate bar (QFT and VQE
+//! MECH compile ≥ 10% faster than `post-claim-engine`; both runs were
+//! recorded on the same machine, so the ratio is meaningful where raw
+//! wall-clock in CI would not be). This keeps the baseline file honest:
+//! a PR that regresses the hot path and silently re-records a slower
+//! `post-csr` fails CI.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -39,6 +49,7 @@ struct Args {
     out: String,
     iters: u32,
     threads: usize,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -48,11 +59,13 @@ fn parse_args() -> Args {
         out: "BENCH_compile.json".to_string(),
         iters: 2,
         threads: CompilerConfig::default().threads,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
+            "--check" => args.check = true,
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = it.next().expect("--out needs a value"),
             "--iters" => {
@@ -71,13 +84,58 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!(
-                    "unknown argument {other}; supported: --quick --label <s> --out <path> --iters <k> --threads <t>"
+                    "unknown argument {other}; supported: --quick --check --label <s> --out <path> --iters <k> --threads <t>"
                 );
                 std::process::exit(2);
             }
         }
     }
     args
+}
+
+/// The MECH `ms` cell for `(label, family)` in a `BENCH_compile.json`
+/// body, scanning line-oriented records (the file is written one result
+/// object per line by this binary).
+fn mech_ms(body: &str, label: &str, family: &str) -> Option<f64> {
+    let label_tag = format!("\"label\": \"{label}\"");
+    let family_tag = format!("\"family\": \"{family}\"");
+    let mut in_record = false;
+    for line in body.lines() {
+        if line.contains("\"label\": ") {
+            in_record = line.contains(&label_tag);
+        }
+        if in_record && line.contains(&family_tag) && line.contains("\"compiler\": \"mech\"") {
+            let ms = line.split("\"ms\": ").nth(1)?.split(',').next()?;
+            return ms.trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// `--check`: asserts the committed perf trajectory (see module docs).
+/// Exits nonzero with a diagnostic on violation.
+fn check_trajectory(path: &str) {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check needs the committed {path}: {e}"));
+    let mut failed = false;
+    for family in ["qft", "vqe"] {
+        let base = mech_ms(&body, "post-claim-engine", family)
+            .unwrap_or_else(|| panic!("{path} lacks a post-claim-engine {family} mech cell"));
+        let csr = mech_ms(&body, "post-csr", family)
+            .unwrap_or_else(|| panic!("{path} lacks a post-csr {family} mech cell"));
+        let bar = base * 0.9;
+        let ok = csr <= bar;
+        println!(
+            "check {family:<4}: post-claim-engine {base:.2} ms -> post-csr {csr:.2} ms \
+             (bar {bar:.2} ms) {}",
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!("perf trajectory violated: post-csr must stay >= 10% below post-claim-engine");
+        std::process::exit(1);
+    }
 }
 
 struct Cell {
@@ -113,6 +171,10 @@ fn time_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
 
 fn main() {
     let args = parse_args();
+    if args.check {
+        check_trajectory(&args.out);
+        return;
+    }
     let spec = if args.quick {
         ChipletSpec::square(5, 2, 2)
     } else {

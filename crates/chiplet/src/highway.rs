@@ -422,7 +422,7 @@ fn cross_anchor(
         if topo.chiplet(q) != chip {
             continue;
         }
-        for link in topo.neighbors(q) {
+        for link in topo.neighbor_links(q) {
             if link.kind == LinkKind::CrossChip && topo.chiplet(link.to) == peer {
                 let (gr, gc) = topo.coord(q);
                 let pos = if horizontal { gr } else { gc };

@@ -1,0 +1,613 @@
+//! The shared search-kernel layer of the routing substrate.
+//!
+//! Every graph walk in the stack — the local router's A*, the entrance
+//! table's region-restricted BFS, the GHZ tree coloring, the highway claim
+//! engine's lazy Dial search, the hop-distance table build — used to be a
+//! hand-rolled loop over its own adjacency representation. This module is
+//! the one audited home for all of them:
+//!
+//! * [`RoutingGraph`] is the flat adjacency contract every kernel runs on
+//!   (implemented by [`Topology`](crate::Topology)'s CSR rows, by
+//!   [`CsrGraph`] for derived graphs such as the highway mesh, and by
+//!   [`AdjacencyView`] for small per-call adjacency lists);
+//! * [`BfsKernel`] is the generation-stamped breadth-first search;
+//! * [`astar_route`] is the node-weighted A* used for data-region routing;
+//! * [`DialSearch`] is the resumable 0/1-bucket Dijkstra behind the
+//!   highway claim engine.
+//!
+//! # Determinism contract
+//!
+//! Kernel *results* never depend on adjacency iteration order:
+//!
+//! * distances and settled costs are fixpoints of the relaxation, so any
+//!   processing order converges to the same values;
+//! * paths are reconstructed **backwards by minimum-id predecessor** from
+//!   the settled costs ([`BfsKernel::reconstruct_into`],
+//!   [`RoutingScratch::reconstruct_path`]), which is a pure function of
+//!   those costs.
+//!
+//! The only order-sensitive quantity a kernel exposes is the *visit order*
+//! of [`BfsKernel::run`] (nodes pop in level order; within a level the
+//! order follows the queue, which follows each node's `neighbors` order).
+//! Callers whose results depend on visit order must own that order
+//! explicitly instead of inheriting whatever their graph happens to store
+//! — the entrance table, whose first-visited accesses and mid-level
+//! cutoff are pinned by the golden schedules, runs over a dedicated
+//! grid-scan-order graph for exactly this reason (`DESIGN.md` §10.3).
+
+use std::cmp::Reverse;
+use std::collections::VecDeque;
+
+use crate::ids::PhysQubit;
+use crate::scratch::{RoutingScratch, SearchCost, StampMap, UNREACHED};
+
+/// A flat adjacency view over nodes identified by [`PhysQubit`]: the
+/// substrate contract all search kernels run on.
+///
+/// Implementations must be *symmetric* (if `b` is in `neighbors(a)` then
+/// `a` is in `neighbors(b)`) — every graph in this codebase is undirected,
+/// and backward path reconstruction relies on it.
+pub trait RoutingGraph {
+    /// Number of addressable nodes (`PhysQubit` ids are `< num_nodes`).
+    fn num_nodes(&self) -> usize;
+    /// The neighbors of `q` as one contiguous slice.
+    fn neighbors(&self, q: PhysQubit) -> &[PhysQubit];
+}
+
+/// A compressed-sparse-row graph built from an undirected edge list, for
+/// derived graphs that are not the device topology itself (the highway
+/// mesh inside [`HighwayOccupancy`]). Rows are sorted by neighbor id, and
+/// each adjacency slot remembers the originating edge index, so edge
+/// payloads stay addressable in O(log degree).
+///
+/// [`HighwayOccupancy`]: ../../mech_highway/struct.HighwayOccupancy.html
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{CsrGraph, PhysQubit, RoutingGraph};
+/// let g = CsrGraph::from_edges(4, &[(PhysQubit(0), PhysQubit(2)), (PhysQubit(2), PhysQubit(1))]);
+/// assert_eq!(g.neighbors(PhysQubit(2)), &[PhysQubit(0), PhysQubit(1)]);
+/// assert_eq!(g.edge_id(PhysQubit(1), PhysQubit(2)), Some(1));
+/// assert_eq!(g.edge_id(PhysQubit(0), PhysQubit(1)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    starts: Vec<u32>,
+    targets: Vec<PhysQubit>,
+    /// `edge_ids[slot]` = index into the source edge list of the edge
+    /// behind `targets[slot]`.
+    edge_ids: Vec<u32>,
+    /// The source edge list, in input order.
+    endpoints: Vec<(PhysQubit, PhysQubit)>,
+}
+
+impl CsrGraph {
+    /// Builds the CSR form of an undirected edge list over `n` nodes.
+    pub fn from_edges(n: usize, edges: &[(PhysQubit, PhysQubit)]) -> CsrGraph {
+        let mut starts = vec![0u32; n + 1];
+        for &(a, b) in edges {
+            starts[a.index() + 1] += 1;
+            starts[b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            starts[i + 1] += starts[i];
+        }
+        let mut targets = vec![PhysQubit(0); 2 * edges.len()];
+        let mut edge_ids = vec![0u32; 2 * edges.len()];
+        let mut cursor: Vec<u32> = starts[..n].to_vec();
+        for (idx, &(a, b)) in edges.iter().enumerate() {
+            for (x, y) in [(a, b), (b, a)] {
+                let c = cursor[x.index()] as usize;
+                targets[c] = y;
+                edge_ids[c] = idx as u32;
+                cursor[x.index()] += 1;
+            }
+        }
+        // Sort each row by neighbor id, keeping the edge ids aligned.
+        for q in 0..n {
+            let (lo, hi) = (starts[q] as usize, starts[q + 1] as usize);
+            // Degrees are tiny (≤ 4 on every lattice); insertion sort over
+            // the parallel arrays avoids materializing pairs.
+            for i in lo + 1..hi {
+                let mut j = i;
+                while j > lo && targets[j - 1] > targets[j] {
+                    targets.swap(j - 1, j);
+                    edge_ids.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+        }
+        CsrGraph {
+            starts,
+            targets,
+            edge_ids,
+            endpoints: edges.to_vec(),
+        }
+    }
+
+    /// The source-edge index of the edge between `a` and `b`, or `None` if
+    /// they are not adjacent. O(log degree) via binary search on the
+    /// sorted row.
+    pub fn edge_id(&self, a: PhysQubit, b: PhysQubit) -> Option<u32> {
+        let lo = self.starts[a.index()] as usize;
+        let hi = self.starts[a.index() + 1] as usize;
+        let row = &self.targets[lo..hi];
+        let i = row.partition_point(|&q| q < b);
+        (i < row.len() && row[i] == b).then(|| self.edge_ids[lo + i])
+    }
+
+    /// The edge list the graph was built from, in input order.
+    pub fn endpoints(&self) -> &[(PhysQubit, PhysQubit)] {
+        &self.endpoints
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// `true` if no edges were loaded (the default state).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+}
+
+impl RoutingGraph for CsrGraph {
+    fn num_nodes(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    fn neighbors(&self, q: PhysQubit) -> &[PhysQubit] {
+        let lo = self.starts[q.index()] as usize;
+        let hi = self.starts[q.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+/// Borrowed per-node adjacency lists as a [`RoutingGraph`], for small
+/// graphs assembled on the fly (the GHZ preparation's claimed tree).
+#[derive(Debug, Clone, Copy)]
+pub struct AdjacencyView<'a> {
+    /// `lists[q]` = neighbors of node `q`.
+    pub lists: &'a [Vec<PhysQubit>],
+}
+
+impl RoutingGraph for AdjacencyView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.lists.len()
+    }
+
+    fn neighbors(&self, q: PhysQubit) -> &[PhysQubit] {
+        &self.lists[q.index()]
+    }
+}
+
+/// What [`BfsKernel::run`] should do after visiting a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BfsControl {
+    /// Enqueue the node's admissible unvisited neighbors and continue.
+    Expand,
+    /// Continue without expanding this node.
+    Skip,
+    /// Abort the search (distances settled so far stay readable).
+    Stop,
+}
+
+/// Generation-stamped breadth-first search: distances invalidate in O(1)
+/// per run, so hot loops that BFS per source (hop-table build, entrance
+/// table) share one kernel without reallocating or clearing device-sized
+/// arrays.
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::{BfsControl, BfsKernel, ChipletSpec, PhysQubit};
+/// let topo = ChipletSpec::square(4, 1, 1).build();
+/// let mut bfs = BfsKernel::default();
+/// bfs.run(&topo, PhysQubit(0), |_| true, |_, _| BfsControl::Expand);
+/// assert_eq!(bfs.distance(PhysQubit(15)), Some(6));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BfsKernel {
+    dist: StampMap<u32>,
+    queue: VecDeque<PhysQubit>,
+}
+
+impl BfsKernel {
+    /// Runs a BFS from `src` over `g`, restricted to nodes for which
+    /// `enter` returns `true` (`src` itself is exempt). `visit(q, d)` is
+    /// called once per reached node in pop order — levels in increasing
+    /// distance, order *within* a level unspecified (derive nothing
+    /// order-sensitive from it) — and steers the search via
+    /// [`BfsControl`].
+    pub fn run<G: RoutingGraph>(
+        &mut self,
+        g: &G,
+        src: PhysQubit,
+        mut enter: impl FnMut(PhysQubit) -> bool,
+        mut visit: impl FnMut(PhysQubit, u32) -> BfsControl,
+    ) {
+        self.dist.begin(g.num_nodes());
+        self.queue.clear();
+        self.dist.insert(src, 0);
+        self.queue.push_back(src);
+        while let Some(q) = self.queue.pop_front() {
+            let d = self.dist.get(q).expect("queued nodes carry a distance");
+            match visit(q, d) {
+                BfsControl::Stop => return,
+                BfsControl::Skip => continue,
+                BfsControl::Expand => {}
+            }
+            for &nb in g.neighbors(q) {
+                if self.dist.get(nb).is_none() && enter(nb) {
+                    self.dist.insert(nb, d + 1);
+                    self.queue.push_back(nb);
+                }
+            }
+        }
+    }
+
+    /// The distance of `q` in the last run (`None` if unreached).
+    pub fn distance(&self, q: PhysQubit) -> Option<u32> {
+        self.dist.get(q)
+    }
+
+    /// Reconstructs a shortest path from `src` to `dst` out of the settled
+    /// distances, walking backwards by **minimum-id predecessor**: at each
+    /// node the parent is the smallest-id neighbor one level closer to the
+    /// source. This is a pure function of the distances, so the chosen
+    /// path is independent of adjacency order and of the forward visit
+    /// order — the canonical tie-break shared with
+    /// [`RoutingScratch::reconstruct_path`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` was not reached by the last run.
+    pub fn reconstruct_into<G: RoutingGraph>(
+        &self,
+        g: &G,
+        src: PhysQubit,
+        dst: PhysQubit,
+        path: &mut Vec<PhysQubit>,
+    ) {
+        path.clear();
+        path.push(dst);
+        let mut cur = dst;
+        let mut d = self.dist.get(dst).expect("destination was reached");
+        while cur != src {
+            let parent = g
+                .neighbors(cur)
+                .iter()
+                .copied()
+                .filter(|&u| self.dist.get(u) == Some(d - 1))
+                .min()
+                .expect("reached nodes have a shortest-path predecessor");
+            path.push(parent);
+            cur = parent;
+            d -= 1;
+        }
+        path.reverse();
+    }
+}
+
+/// Node-weighted A* over a [`RoutingGraph`] into a caller-provided
+/// [`RoutingScratch`], returning whether `to` was reached with its final
+/// cost settled.
+///
+/// The search minimizes the sum of `weight(v)` over entered nodes (the
+/// start pays nothing), guided by the admissible *and consistent*
+/// heuristic `h` (each hop must cost at least `h(q) - h(v)`; the
+/// hop-distance table qualifies whenever every weight is ≥ 1). Nodes
+/// failing `enter` are impassable, except `to` which is always enterable.
+///
+/// On success every node whose f-value does not exceed the goal cost is
+/// fully settled — exactly the set a backward
+/// [`RoutingScratch::reconstruct_path`] (same `weight` as `step`) can
+/// visit, so reconstruction from the scratch is valid immediately and
+/// produces the same min-id path a plain Dijkstra would (see the
+/// equivalence argument on `reconstruct_path`).
+pub fn astar_route<G: RoutingGraph>(
+    scratch: &mut RoutingScratch,
+    g: &G,
+    from: PhysQubit,
+    to: PhysQubit,
+    enter: impl Fn(PhysQubit) -> bool,
+    weight: impl Fn(PhysQubit) -> u32,
+    h: impl Fn(PhysQubit) -> u32,
+) -> bool {
+    scratch.begin(g.num_nodes());
+    scratch.set_cost(from, (0, 0));
+    // Heap entries carry `(f, g)`: the g-value makes the staleness check
+    // one comparison against the stored cost instead of a heuristic
+    // re-evaluation per pop. Among equal-f entries pop order shifts to
+    // prefer smaller g, which cannot change the settled costs (they are
+    // the relaxation fixpoint) nor the reconstructed min-id path.
+    scratch.heap.push(Reverse(((h(from), 0), from)));
+    // Once the goal cost is known, keep draining entries with f ≤ g(to):
+    // that finalizes every node the path reconstruction can visit
+    // (anything with a better f), at which point the recorded costs agree
+    // with a full Dijkstra's.
+    let mut goal_cost: Option<u32> = None;
+
+    while let Some(Reverse(((f, gq), q))) = scratch.heap.pop() {
+        if goal_cost.is_some_and(|g_to| f > g_to) {
+            break;
+        }
+        if gq != scratch.cost(q).0 {
+            continue; // stale entry superseded by a cheaper relaxation
+        }
+        if q == to {
+            continue; // never expand through the destination
+        }
+        for &v in g.neighbors(q) {
+            if v != to && !enter(v) {
+                continue;
+            }
+            let ng = gq + weight(v);
+            if ng < scratch.cost(v).0 {
+                scratch.set_cost(v, (ng, 0));
+                if v == to {
+                    goal_cost = Some(ng);
+                }
+                scratch.heap.push(Reverse(((ng + h(v), ng), v)));
+            }
+        }
+    }
+
+    scratch.reached(to)
+}
+
+/// Resumable Dial-style bucket search for lexicographic
+/// `(0/1 primary, hops)` costs, the engine behind highway claim routing.
+///
+/// With 0/1 node weights the Dijkstra fixpoint is computable by draining
+/// FIFO buckets indexed by primary cost: each bucket drains to a fixpoint
+/// before the next starts, so once bucket `p` has drained every cost with
+/// primary ≤ `p` is final. The scan is *lazy* — [`DialSearch::advance_to`]
+/// drains only as many buckets as the queried destination needs and
+/// resumes where it stopped, so one search serves many destinations while
+/// near ones pay a fraction of the graph.
+///
+/// Costs live in a caller-provided [`RoutingScratch`], so acceptance
+/// checks ([`RoutingScratch::reached`]) and backward min-id
+/// reconstruction run against the same settled state.
+#[derive(Debug, Clone, Default)]
+pub struct DialSearch {
+    /// FIFO buckets indexed by primary cost (hops settle in BFS order
+    /// within a bucket).
+    buckets: Vec<VecDeque<PhysQubit>>,
+    /// Next bucket to drain (all primaries below are final).
+    next: usize,
+    /// Entries still queued across `buckets[next..]`.
+    pending: usize,
+}
+
+impl DialSearch {
+    /// Ensures the bucket array can hold primaries up to `max_primary`.
+    pub fn fit(&mut self, max_primary: usize) {
+        if self.buckets.len() < max_primary + 1 {
+            self.buckets.resize_with(max_primary + 1, VecDeque::new);
+        }
+    }
+
+    /// Starts a fresh search from `src` with initial cost `start`,
+    /// invalidating any previous (possibly partially drained) search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DialSearch::fit`] has not sized the buckets to cover
+    /// `start` (and callers must fit the maximum primary cost any
+    /// relaxation can reach before advancing).
+    pub fn begin(
+        &mut self,
+        scratch: &mut RoutingScratch,
+        n: usize,
+        src: PhysQubit,
+        start: SearchCost,
+    ) {
+        assert!(
+            (start.0 as usize) < self.buckets.len(),
+            "DialSearch::fit must size the buckets before begin"
+        );
+        if self.pending > 0 {
+            // An invalidated search left queued entries behind (it only
+            // drained as far as its queries needed).
+            for bucket in &mut self.buckets[self.next..] {
+                bucket.clear();
+            }
+            self.pending = 0;
+        }
+        scratch.begin(n);
+        scratch.set_cost(src, start);
+        self.buckets[start.0 as usize].push_back(src);
+        self.next = start.0 as usize;
+        self.pending = 1;
+    }
+
+    /// Drains the live search until `to`'s cost is final (returning
+    /// `true`) or the search is exhausted with `to` unreached (`false`).
+    /// `step(v)` returns the primary weight of entering `v`, or `None` for
+    /// impassable nodes — one closure so callers resolve passability and
+    /// weight with a single state lookup per neighbor.
+    pub fn advance_to<G: RoutingGraph>(
+        &mut self,
+        scratch: &mut RoutingScratch,
+        g: &G,
+        to: PhysQubit,
+        step: impl Fn(PhysQubit) -> Option<u32>,
+    ) -> bool {
+        loop {
+            let c = scratch.cost(to);
+            if c != UNREACHED && (c.0 as usize) < self.next {
+                return true;
+            }
+            if self.pending == 0 {
+                return false;
+            }
+            let p = self.next;
+            while let Some(q) = self.buckets[p].pop_front() {
+                self.pending -= 1;
+                let cost = scratch.cost(q);
+                if cost.0 != p as u32 {
+                    continue; // superseded by a cheaper bucket
+                }
+                for &nb in g.neighbors(q) {
+                    let Some(w) = step(nb) else { continue };
+                    let ncost = (cost.0 + w, cost.1 + 1);
+                    if ncost < scratch.cost(nb) {
+                        scratch.set_cost(nb, ncost);
+                        self.buckets[ncost.0 as usize].push_back(nb);
+                        self.pending += 1;
+                    }
+                }
+            }
+            self.next += 1;
+        }
+    }
+
+    /// Primary costs strictly below this are final in the live search.
+    pub fn settled_below(&self) -> usize {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ChipletSpec;
+
+    #[test]
+    fn csr_rows_are_sorted_and_symmetric() {
+        let edges = [
+            (PhysQubit(3), PhysQubit(1)),
+            (PhysQubit(0), PhysQubit(3)),
+            (PhysQubit(1), PhysQubit(0)),
+        ];
+        let g = CsrGraph::from_edges(4, &edges);
+        assert_eq!(g.neighbors(PhysQubit(3)), &[PhysQubit(0), PhysQubit(1)]);
+        assert_eq!(g.neighbors(PhysQubit(0)), &[PhysQubit(1), PhysQubit(3)]);
+        assert_eq!(g.neighbors(PhysQubit(2)), &[]);
+        assert_eq!(g.edge_id(PhysQubit(1), PhysQubit(3)), Some(0));
+        assert_eq!(g.edge_id(PhysQubit(3), PhysQubit(1)), Some(0));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn bfs_distances_match_topology_table() {
+        let topo = ChipletSpec::square(5, 1, 2).build();
+        let mut bfs = BfsKernel::default();
+        bfs.run(&topo, PhysQubit(7), |_| true, |_, _| BfsControl::Expand);
+        for q in topo.qubits() {
+            assert_eq!(bfs.distance(q), Some(topo.distance(PhysQubit(7), q)));
+        }
+    }
+
+    #[test]
+    fn bfs_stop_freezes_the_frontier() {
+        let topo = ChipletSpec::square(5, 1, 1).build();
+        let mut bfs = BfsKernel::default();
+        let mut visited = 0u32;
+        bfs.run(
+            &topo,
+            PhysQubit(0),
+            |_| true,
+            |_, d| {
+                visited += 1;
+                if d >= 2 {
+                    BfsControl::Stop
+                } else {
+                    BfsControl::Expand
+                }
+            },
+        );
+        assert!(visited < topo.num_qubits());
+    }
+
+    #[test]
+    fn reconstruct_walks_min_id_predecessors() {
+        let topo = ChipletSpec::square(4, 1, 1).build();
+        let mut bfs = BfsKernel::default();
+        let dst = PhysQubit(15);
+        bfs.run(&topo, PhysQubit(0), |_| true, |_, _| BfsControl::Expand);
+        let mut path = Vec::new();
+        bfs.reconstruct_into(&topo, PhysQubit(0), dst, &mut path);
+        assert_eq!(path.first(), Some(&PhysQubit(0)));
+        assert_eq!(path.last(), Some(&dst));
+        assert_eq!(path.len() as u32, topo.distance(PhysQubit(0), dst) + 1);
+        // Min-id: on a full grid the backward walk always prefers the
+        // north/west predecessor, so the forward path runs east along row
+        // 0 first, then south down the last column.
+        for w in path.windows(2) {
+            assert!(topo.are_coupled(w[0], w[1]));
+            assert!(w[0] < w[1], "min-id walk moves through ascending ids");
+        }
+    }
+
+    #[test]
+    fn astar_reaches_and_settles_the_goal() {
+        let topo = ChipletSpec::square(5, 1, 1).build();
+        let mut scratch = RoutingScratch::default();
+        let (from, to) = (PhysQubit(0), PhysQubit(24));
+        let reached = astar_route(
+            &mut scratch,
+            &topo,
+            from,
+            to,
+            |_| true,
+            |_| 1,
+            |q| topo.distance(q, to),
+        );
+        assert!(reached);
+        assert_eq!(scratch.cost(to), (topo.distance(from, to), 0));
+    }
+
+    #[test]
+    fn astar_respects_blocked_nodes() {
+        let topo = ChipletSpec::square(3, 1, 1).build();
+        let mut scratch = RoutingScratch::default();
+        let reached = astar_route(
+            &mut scratch,
+            &topo,
+            PhysQubit(0),
+            PhysQubit(8),
+            |_| false,
+            |_| 1,
+            |q| topo.distance(q, PhysQubit(8)),
+        );
+        assert!(!reached, "everything but the endpoints is impassable");
+    }
+
+    #[test]
+    fn dial_search_is_lazy_and_resumable() {
+        let topo = ChipletSpec::square(5, 1, 1).build();
+        let n = topo.num_qubits() as usize;
+        let mut scratch = RoutingScratch::default();
+        let mut dial = DialSearch::default();
+        dial.fit(n + 1);
+        dial.begin(&mut scratch, n, PhysQubit(0), (1, 0));
+        // A near destination needs few buckets...
+        assert!(dial.advance_to(&mut scratch, &topo, PhysQubit(1), |_| Some(1)));
+        let settled_near = dial.settled_below();
+        // ...a far one resumes the same search further.
+        assert!(dial.advance_to(&mut scratch, &topo, PhysQubit(24), |_| Some(1)));
+        assert!(dial.settled_below() > settled_near);
+        assert_eq!(
+            scratch.cost(PhysQubit(24)).0,
+            1 + topo.distance(PhysQubit(0), PhysQubit(24))
+        );
+    }
+
+    #[test]
+    fn adjacency_view_serves_small_graphs() {
+        let lists = vec![
+            vec![PhysQubit(1)],
+            vec![PhysQubit(0), PhysQubit(2)],
+            vec![PhysQubit(1)],
+        ];
+        let view = AdjacencyView { lists: &lists };
+        let mut bfs = BfsKernel::default();
+        bfs.run(&view, PhysQubit(0), |_| true, |_, _| BfsControl::Expand);
+        assert_eq!(bfs.distance(PhysQubit(2)), Some(2));
+    }
+}

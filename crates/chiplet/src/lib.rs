@@ -24,6 +24,7 @@
 mod cost;
 mod highway;
 mod ids;
+mod kernels;
 mod pathfind;
 mod phys;
 mod render;
@@ -35,6 +36,9 @@ mod topology;
 pub use cost::CostModel;
 pub use highway::{HighwayEdge, HighwayEdgeKind, HighwayLayout};
 pub use ids::{ChipletId, LinkKind, PhysQubit};
+pub use kernels::{
+    astar_route, AdjacencyView, BfsControl, BfsKernel, CsrGraph, DialSearch, RoutingGraph,
+};
 pub use pathfind::{bfs_distances, shortest_path, shortest_path_avoiding};
 pub use phys::{OpCounts, PhysCircuit, PhysOp, PhysOpKind};
 pub use render::render_layout;

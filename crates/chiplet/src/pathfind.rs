@@ -1,23 +1,27 @@
 //! BFS path-finding helpers shared by the highway generator and routers.
-
-use std::collections::VecDeque;
+//!
+//! Thin convenience wrappers over the [`kernels`](crate::kernels) layer:
+//! allocation of the returned containers aside, both functions run on the
+//! stamped [`BfsKernel`] and reconstruct paths by the canonical minimum-id
+//! predecessor walk, so results are independent of adjacency order.
 
 use crate::ids::PhysQubit;
+use crate::kernels::{BfsControl, BfsKernel};
 use crate::topology::Topology;
 
 /// Hop distances from `src` to every qubit (`u32::MAX` if unreachable).
 pub fn bfs_distances(topo: &Topology, src: PhysQubit) -> Vec<u32> {
     let mut dist = vec![u32::MAX; topo.num_qubits() as usize];
-    dist[src.index()] = 0;
-    let mut queue = VecDeque::from([src]);
-    while let Some(q) = queue.pop_front() {
-        for link in topo.neighbors(q) {
-            if dist[link.to.index()] == u32::MAX {
-                dist[link.to.index()] = dist[q.index()] + 1;
-                queue.push_back(link.to);
-            }
-        }
-    }
+    let mut bfs = BfsKernel::default();
+    bfs.run(
+        topo,
+        src,
+        |_| true,
+        |q, d| {
+            dist[q.index()] = d;
+            BfsControl::Expand
+        },
+    );
     dist
 }
 
@@ -31,7 +35,9 @@ pub fn shortest_path(topo: &Topology, src: PhysQubit, dst: PhysQubit) -> Option<
 /// `blocked` returns `true` (endpoints are exempt from the predicate).
 ///
 /// Used by the local router to route data qubits around the highway, and by
-/// the highway generator to carve corridors inside a single chiplet.
+/// the highway generator to carve corridors inside a single chiplet. Among
+/// equally short paths the minimum-id-predecessor one is returned (the
+/// kernel layer's canonical tie-break).
 ///
 /// # Example
 ///
@@ -56,33 +62,26 @@ where
     if src == dst {
         return Some(vec![src]);
     }
-    let n = topo.num_qubits() as usize;
-    let mut prev: Vec<Option<PhysQubit>> = vec![None; n];
-    let mut seen = vec![false; n];
-    seen[src.index()] = true;
-    let mut queue = VecDeque::from([src]);
-    while let Some(q) = queue.pop_front() {
-        for link in topo.neighbors(q) {
-            let to = link.to;
-            if seen[to.index()] || (to != dst && blocked(to)) {
-                continue;
+    let mut bfs = BfsKernel::default();
+    let mut found = false;
+    bfs.run(
+        topo,
+        src,
+        |q| q == dst || !blocked(q),
+        |q, _| {
+            if q == dst {
+                found = true;
+                BfsControl::Stop
+            } else {
+                BfsControl::Expand
             }
-            seen[to.index()] = true;
-            prev[to.index()] = Some(q);
-            if to == dst {
-                let mut path = vec![dst];
-                let mut cur = dst;
-                while let Some(p) = prev[cur.index()] {
-                    path.push(p);
-                    cur = p;
-                }
-                path.reverse();
-                return Some(path);
-            }
-            queue.push_back(to);
-        }
-    }
-    None
+        },
+    );
+    found.then(|| {
+        let mut path = Vec::new();
+        bfs.reconstruct_into(topo, src, dst, &mut path);
+        path
+    })
 }
 
 #[cfg(test)]
@@ -126,5 +125,16 @@ mod tests {
         let a = t.qubit_at(0, 0).unwrap();
         let b = t.qubit_at(2, 2).unwrap();
         assert!(shortest_path_avoiding(&t, a, b, |_| true).is_none());
+    }
+
+    #[test]
+    fn blocked_source_may_still_start_the_path() {
+        let t = ChipletSpec::square(3, 1, 1).build();
+        let a = t.qubit_at(0, 0).unwrap();
+        let b = t.qubit_at(0, 2).unwrap();
+        // Endpoints are exempt from the predicate.
+        let p = shortest_path_avoiding(&t, a, b, |q| q == a || q == b).unwrap();
+        assert_eq!(p.first(), Some(&a));
+        assert_eq!(p.last(), Some(&b));
     }
 }

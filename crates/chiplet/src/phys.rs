@@ -141,6 +141,29 @@ impl PhysCircuit {
         let kind = topo
             .coupling(a, b)
             .unwrap_or_else(|| panic!("two-qubit gate on uncoupled pair {a}, {b}"));
+        self.emit_resolved(kind, a, b, not_before)
+    }
+
+    /// Schedules a two-qubit gate ASAP. Returns the start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubits are not coupled.
+    pub fn two_qubit(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit) -> u64 {
+        self.two_qubit_after(topo, a, b, 0)
+    }
+
+    /// The one emission routine behind every two-qubit schedule: the
+    /// single-gate entry points resolve the coupling and delegate here,
+    /// and the multi-CNOT gadgets (swap, bridge) resolve each coupling
+    /// once instead of per CNOT.
+    fn emit_resolved(
+        &mut self,
+        kind: LinkKind,
+        a: PhysQubit,
+        b: PhysQubit,
+        not_before: u64,
+    ) -> u64 {
         let start = self.time(a).max(self.time(b)).max(not_before);
         let end = start + 1;
         self.clock[a.index()] = end;
@@ -159,15 +182,6 @@ impl PhysCircuit {
         start
     }
 
-    /// Schedules a two-qubit gate ASAP. Returns the start time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the qubits are not coupled.
-    pub fn two_qubit(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit) -> u64 {
-        self.two_qubit_after(topo, a, b, 0)
-    }
-
     /// Schedules a SWAP as three CNOTs over the same link. Returns the
     /// start time of the first.
     ///
@@ -175,9 +189,12 @@ impl PhysCircuit {
     ///
     /// Panics if the qubits are not coupled.
     pub fn swap(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit) -> u64 {
-        let s = self.two_qubit(topo, a, b);
-        self.two_qubit(topo, a, b);
-        self.two_qubit(topo, a, b);
+        let kind = topo
+            .coupling(a, b)
+            .unwrap_or_else(|| panic!("SWAP on uncoupled pair {a}, {b}"));
+        let s = self.emit_resolved(kind, a, b, 0);
+        self.emit_resolved(kind, a, b, 0);
+        self.emit_resolved(kind, a, b, 0);
         s
     }
 
@@ -189,10 +206,16 @@ impl PhysCircuit {
     ///
     /// Panics if `(a, b)` or `(b, c)` are not coupled.
     pub fn bridge(&mut self, topo: &Topology, a: PhysQubit, b: PhysQubit, c: PhysQubit) -> u64 {
-        let s = self.two_qubit(topo, b, c);
-        self.two_qubit(topo, a, b);
-        self.two_qubit(topo, b, c);
-        self.two_qubit(topo, a, b);
+        let ab = topo
+            .coupling(a, b)
+            .unwrap_or_else(|| panic!("bridge on uncoupled pair {a}, {b}"));
+        let bc = topo
+            .coupling(b, c)
+            .unwrap_or_else(|| panic!("bridge on uncoupled pair {b}, {c}"));
+        let s = self.emit_resolved(bc, b, c, 0);
+        self.emit_resolved(ab, a, b, 0);
+        self.emit_resolved(bc, b, c, 0);
+        self.emit_resolved(ab, a, b, 0);
         s
     }
 

@@ -1,6 +1,5 @@
-use std::collections::VecDeque;
-
 use crate::ids::{ChipletId, LinkKind, PhysQubit};
+use crate::kernels::{BfsControl, BfsKernel, RoutingGraph};
 use crate::spec::{evenly_spaced, ChipletSpec};
 use crate::structures::{cells_coupled, has_qubit};
 
@@ -19,6 +18,13 @@ pub struct Link {
 /// records, per qubit, its global grid coordinate, owning chiplet and
 /// adjacency (with on-chip/cross-chip tags), plus an all-pairs hop-distance
 /// table used by the routers.
+///
+/// The adjacency is stored flat in compressed-sparse-row form —
+/// `row_offsets` slicing `neighbors`/`kinds`, each row sorted by neighbor
+/// id — so the heavy-traversal consumers (data-region A*, entrance scans,
+/// SABRE's inner loop) walk one cache-dense array instead of chasing a
+/// pointer per qubit, and [`Topology::coupling`] binary-searches a sorted
+/// row. See `DESIGN.md` §10 for the routing-substrate contract.
 ///
 /// # Example
 ///
@@ -40,7 +46,13 @@ pub struct Topology {
     grid: Vec<Option<PhysQubit>>,
     coords: Vec<(u32, u32)>,
     chiplet_of: Vec<ChipletId>,
-    adj: Vec<Vec<Link>>,
+    /// CSR row bounds: qubit `q`'s links live in
+    /// `neighbors[row_offsets[q]..row_offsets[q+1]]`.
+    row_offsets: Vec<u32>,
+    /// Flat neighbor ids, each row sorted ascending.
+    neighbors: Vec<PhysQubit>,
+    /// Link kinds parallel to `neighbors`.
+    kinds: Vec<LinkKind>,
     /// Row-major `num_qubits × num_qubits` hop distances (`u16::MAX` =
     /// unreachable, which never happens for valid specs).
     dist: Vec<u16>,
@@ -71,91 +83,25 @@ impl Topology {
             }
         }
 
+        let (adj, num_cross_links) = link_lists(&spec, &grid, &coords, grid_rows, grid_cols);
+
+        // Flatten the per-qubit lists into sorted CSR rows.
         let n = coords.len();
-        let mut adj: Vec<Vec<Link>> = vec![Vec::new(); n];
-        let at = |gr: u32, gc: u32| -> Option<PhysQubit> {
-            if gr < grid_rows && gc < grid_cols {
-                grid[(gr * grid_cols + gc) as usize]
-            } else {
-                None
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let total: usize = adj.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut kinds = Vec::with_capacity(total);
+        row_offsets.push(0u32);
+        let mut row: Vec<Link> = Vec::new();
+        for links in &adj {
+            row.clear();
+            row.extend_from_slice(links);
+            row.sort_by_key(|l| l.to);
+            for l in &row {
+                neighbors.push(l.to);
+                kinds.push(l.kind);
             }
-        };
-        let mut num_cross_links = 0usize;
-
-        // On-chip links: orthogonal neighbors within the same chiplet.
-        for (idx, &(gr, gc)) in coords.iter().enumerate() {
-            let q = PhysQubit(idx as u32);
-            for (nr, nc) in [(gr + 1, gc), (gr, gc + 1)] {
-                if nr / d != gr / d || nc / d != gc / d {
-                    continue; // crosses a chiplet boundary; handled below
-                }
-                if let Some(nb) = at(nr, nc) {
-                    let (r, c) = (gr % d, gc % d);
-                    let (r2, c2) = (nr % d, nc % d);
-                    if cells_coupled(structure, r, c, r2, c2) {
-                        adj[q.index()].push(Link {
-                            to: nb,
-                            kind: LinkKind::OnChip,
-                        });
-                        adj[nb.index()].push(Link {
-                            to: q,
-                            kind: LinkKind::OnChip,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Cross-chip links: facing boundary qubits, sparsified per edge.
-        let keep = spec.cross_links_per_edge();
-        let mut add_cross = |pairs: Vec<(PhysQubit, PhysQubit)>, adj: &mut Vec<Vec<Link>>| {
-            let kept_idx = match keep {
-                Some(k) => evenly_spaced(pairs.len() as u32, k),
-                None => (0..pairs.len() as u32).collect(),
-            };
-            for i in kept_idx {
-                let (a, b) = pairs[i as usize];
-                adj[a.index()].push(Link {
-                    to: b,
-                    kind: LinkKind::CrossChip,
-                });
-                adj[b.index()].push(Link {
-                    to: a,
-                    kind: LinkKind::CrossChip,
-                });
-                num_cross_links += 1;
-            }
-        };
-
-        // Vertical chiplet boundaries (east-west neighbors).
-        for ci in 0..spec.array_rows() {
-            for cj in 0..spec.array_cols().saturating_sub(1) {
-                let east_col = cj * d + d - 1;
-                let west_col = (cj + 1) * d;
-                let mut pairs = Vec::new();
-                for r in 0..d {
-                    let gr = ci * d + r;
-                    if let (Some(a), Some(b)) = (at(gr, east_col), at(gr, west_col)) {
-                        pairs.push((a, b));
-                    }
-                }
-                add_cross(pairs, &mut adj);
-            }
-        }
-        // Horizontal chiplet boundaries (north-south neighbors).
-        for ci in 0..spec.array_rows().saturating_sub(1) {
-            for cj in 0..spec.array_cols() {
-                let south_row = ci * d + d - 1;
-                let north_row = (ci + 1) * d;
-                let mut pairs = Vec::new();
-                for c in 0..d {
-                    let gc = cj * d + c;
-                    if let (Some(a), Some(b)) = (at(south_row, gc), at(north_row, gc)) {
-                        pairs.push((a, b));
-                    }
-                }
-                add_cross(pairs, &mut adj);
-            }
+            row_offsets.push(neighbors.len() as u32);
         }
 
         let mut topo = Topology {
@@ -165,7 +111,9 @@ impl Topology {
             grid,
             coords,
             chiplet_of,
-            adj,
+            row_offsets,
+            neighbors,
+            kinds,
             dist: Vec::new(),
             num_cross_links,
         };
@@ -173,24 +121,23 @@ impl Topology {
         topo
     }
 
+    /// All-pairs hop distances on the shared stamped-BFS kernel: one
+    /// scratch serves every source, each row written straight from the
+    /// settle callback.
     fn compute_all_pairs(&self) -> Vec<u16> {
         let n = self.num_qubits() as usize;
         let mut dist = vec![u16::MAX; n * n];
-        let mut queue = VecDeque::new();
-        for src in 0..n {
-            let row = &mut dist[src * n..(src + 1) * n];
-            row[src] = 0;
-            queue.clear();
-            queue.push_back(PhysQubit(src as u32));
-            while let Some(q) = queue.pop_front() {
-                let dq = row[q.index()];
-                for link in &self.adj[q.index()] {
-                    if row[link.to.index()] == u16::MAX {
-                        row[link.to.index()] = dq + 1;
-                        queue.push_back(link.to);
-                    }
-                }
-            }
+        let mut bfs = BfsKernel::default();
+        for (src, row) in dist.chunks_exact_mut(n).enumerate() {
+            bfs.run(
+                self,
+                PhysQubit(src as u32),
+                |_| true,
+                |q, d| {
+                    row[q.index()] = d as u16;
+                    BfsControl::Expand
+                },
+            );
         }
         dist
     }
@@ -220,17 +167,33 @@ impl Topology {
         (self.grid_rows, self.grid_cols)
     }
 
-    /// The links out of `q`.
-    pub fn neighbors(&self, q: PhysQubit) -> &[Link] {
-        &self.adj[q.index()]
+    /// The neighbors of `q`, ascending — one contiguous CSR row, the form
+    /// every hot traversal consumes.
+    pub fn neighbors(&self, q: PhysQubit) -> &[PhysQubit] {
+        let lo = self.row_offsets[q.index()] as usize;
+        let hi = self.row_offsets[q.index() + 1] as usize;
+        &self.neighbors[lo..hi]
     }
 
-    /// The link kind between `a` and `b`, or `None` if they are not coupled.
-    pub fn coupling(&self, a: PhysQubit, b: PhysQubit) -> Option<LinkKind> {
-        self.adj[a.index()]
+    /// The links out of `q` with their kinds, ascending by neighbor.
+    pub fn neighbor_links(&self, q: PhysQubit) -> impl Iterator<Item = Link> + '_ {
+        let lo = self.row_offsets[q.index()] as usize;
+        let hi = self.row_offsets[q.index() + 1] as usize;
+        self.neighbors[lo..hi]
             .iter()
-            .find(|l| l.to == b)
-            .map(|l| l.kind)
+            .zip(&self.kinds[lo..hi])
+            .map(|(&to, &kind)| Link { to, kind })
+    }
+
+    /// The link kind between `a` and `b`, or `None` if they are not
+    /// coupled. O(log degree): binary search on the sorted CSR row (this
+    /// runs inside SABRE's inner loop and the physical-op validator).
+    pub fn coupling(&self, a: PhysQubit, b: PhysQubit) -> Option<LinkKind> {
+        let lo = self.row_offsets[a.index()] as usize;
+        let hi = self.row_offsets[a.index() + 1] as usize;
+        let row = &self.neighbors[lo..hi];
+        let i = row.partition_point(|&q| q < b);
+        (i < row.len() && row[i] == b).then(|| self.kinds[lo + i])
     }
 
     /// `true` if `a` and `b` share a coupler.
@@ -263,6 +226,15 @@ impl Topology {
         u32::from(self.dist[a.index() * n + b.index()])
     }
 
+    /// Hop distances from `src` to every qubit, as one contiguous row of
+    /// the all-pairs table (`u16::MAX` = unreachable). The routers use
+    /// this as the A* heuristic: indexing a borrowed row in the inner loop
+    /// beats recomputing the row offset per lookup.
+    pub fn distances_from(&self, src: PhysQubit) -> &[u16] {
+        let n = self.num_qubits() as usize;
+        &self.dist[src.index() * n..(src.index() + 1) * n]
+    }
+
     /// Iterates over all qubits.
     pub fn qubits(&self) -> impl Iterator<Item = PhysQubit> {
         (0..self.num_qubits()).map(PhysQubit)
@@ -278,12 +250,142 @@ impl Topology {
 
     /// Total number of undirected links, `(on_chip, cross_chip)`.
     pub fn link_counts(&self) -> (usize, usize) {
-        let mut on = 0;
-        for links in &self.adj {
-            on += links.iter().filter(|l| l.kind == LinkKind::OnChip).count();
-        }
+        let on = self
+            .kinds
+            .iter()
+            .filter(|&&k| k == LinkKind::OnChip)
+            .count();
         (on / 2, self.num_cross_links)
     }
+
+    /// The adjacency rebuilt through the retained pre-CSR builder, as
+    /// per-qubit link lists in legacy insertion order. This is the *oracle*
+    /// the property tests pin the CSR arrays against (degree lists,
+    /// neighbor sets, BFS distances) — it shares no code with the flat
+    /// layout beyond the grid construction.
+    pub fn reference_adjacency(&self) -> Vec<Vec<Link>> {
+        link_lists(
+            &self.spec,
+            &self.grid,
+            &self.coords,
+            self.grid_rows,
+            self.grid_cols,
+        )
+        .0
+    }
+}
+
+impl RoutingGraph for Topology {
+    fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    fn neighbors(&self, q: PhysQubit) -> &[PhysQubit] {
+        Topology::neighbors(self, q)
+    }
+}
+
+/// The legacy pointer-chained adjacency builder: per-qubit `Vec<Link>`
+/// lists in discovery order (on-chip sweeps first, then cross-chip
+/// stitches). [`Topology::build`] flattens its output into the CSR arrays;
+/// [`Topology::reference_adjacency`] exposes it as the test oracle.
+fn link_lists(
+    spec: &ChipletSpec,
+    grid: &[Option<PhysQubit>],
+    coords: &[(u32, u32)],
+    grid_rows: u32,
+    grid_cols: u32,
+) -> (Vec<Vec<Link>>, usize) {
+    let d = spec.chiplet_size();
+    let structure = spec.structure();
+    let n = coords.len();
+    let mut adj: Vec<Vec<Link>> = vec![Vec::new(); n];
+    let at = |gr: u32, gc: u32| -> Option<PhysQubit> {
+        if gr < grid_rows && gc < grid_cols {
+            grid[(gr * grid_cols + gc) as usize]
+        } else {
+            None
+        }
+    };
+    let mut num_cross_links = 0usize;
+
+    // On-chip links: orthogonal neighbors within the same chiplet.
+    for (idx, &(gr, gc)) in coords.iter().enumerate() {
+        let q = PhysQubit(idx as u32);
+        for (nr, nc) in [(gr + 1, gc), (gr, gc + 1)] {
+            if nr / d != gr / d || nc / d != gc / d {
+                continue; // crosses a chiplet boundary; handled below
+            }
+            if let Some(nb) = at(nr, nc) {
+                let (r, c) = (gr % d, gc % d);
+                let (r2, c2) = (nr % d, nc % d);
+                if cells_coupled(structure, r, c, r2, c2) {
+                    adj[q.index()].push(Link {
+                        to: nb,
+                        kind: LinkKind::OnChip,
+                    });
+                    adj[nb.index()].push(Link {
+                        to: q,
+                        kind: LinkKind::OnChip,
+                    });
+                }
+            }
+        }
+    }
+
+    // Cross-chip links: facing boundary qubits, sparsified per edge.
+    let keep = spec.cross_links_per_edge();
+    let mut add_cross = |pairs: Vec<(PhysQubit, PhysQubit)>, adj: &mut Vec<Vec<Link>>| {
+        let kept_idx = match keep {
+            Some(k) => evenly_spaced(pairs.len() as u32, k),
+            None => (0..pairs.len() as u32).collect(),
+        };
+        for i in kept_idx {
+            let (a, b) = pairs[i as usize];
+            adj[a.index()].push(Link {
+                to: b,
+                kind: LinkKind::CrossChip,
+            });
+            adj[b.index()].push(Link {
+                to: a,
+                kind: LinkKind::CrossChip,
+            });
+            num_cross_links += 1;
+        }
+    };
+
+    // Vertical chiplet boundaries (east-west neighbors).
+    for ci in 0..spec.array_rows() {
+        for cj in 0..spec.array_cols().saturating_sub(1) {
+            let east_col = cj * d + d - 1;
+            let west_col = (cj + 1) * d;
+            let mut pairs = Vec::new();
+            for r in 0..d {
+                let gr = ci * d + r;
+                if let (Some(a), Some(b)) = (at(gr, east_col), at(gr, west_col)) {
+                    pairs.push((a, b));
+                }
+            }
+            add_cross(pairs, &mut adj);
+        }
+    }
+    // Horizontal chiplet boundaries (north-south neighbors).
+    for ci in 0..spec.array_rows().saturating_sub(1) {
+        for cj in 0..spec.array_cols() {
+            let south_row = ci * d + d - 1;
+            let north_row = (ci + 1) * d;
+            let mut pairs = Vec::new();
+            for c in 0..d {
+                let gc = cj * d + c;
+                if let (Some(a), Some(b)) = (at(south_row, gc), at(north_row, gc)) {
+                    pairs.push((a, b));
+                }
+            }
+            add_cross(pairs, &mut adj);
+        }
+    }
+
+    (adj, num_cross_links)
 }
 
 #[cfg(test)]
@@ -329,7 +431,7 @@ mod tests {
     fn cross_links_connect_adjacent_chiplets_only() {
         let t = ChipletSpec::square(4, 2, 2).build();
         for q in t.qubits() {
-            for l in t.neighbors(q) {
+            for l in t.neighbor_links(q) {
                 let (ca, cb) = (t.chiplet(q), t.chiplet(l.to));
                 match l.kind {
                     LinkKind::OnChip => assert_eq!(ca, cb),
@@ -392,7 +494,7 @@ mod tests {
     fn coupling_is_mutual() {
         let t = ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 2, 2).build();
         for q in t.qubits() {
-            for l in t.neighbors(q) {
+            for l in t.neighbor_links(q) {
                 assert_eq!(t.coupling(l.to, q), Some(l.kind));
             }
         }
@@ -404,6 +506,22 @@ mod tests {
         for q in t.qubits() {
             let (gr, gc) = t.coord(q);
             assert_eq!(t.qubit_at(gr, gc), Some(q));
+        }
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_and_match_the_reference_builder() {
+        for s in CouplingStructure::ALL {
+            let t = ChipletSpec::new(s, 6, 2, 2).build();
+            let reference = t.reference_adjacency();
+            for q in t.qubits() {
+                let row = t.neighbors(q);
+                assert!(row.windows(2).all(|w| w[0] < w[1]), "{s}: row unsorted");
+                let mut legacy: Vec<Link> = reference[q.index()].clone();
+                legacy.sort_by_key(|l| l.to);
+                let flat: Vec<Link> = t.neighbor_links(q).collect();
+                assert_eq!(flat, legacy, "{s}: row diverged at {q}");
+            }
         }
     }
 }

@@ -52,7 +52,7 @@
 //! (`tests/claim_engine.rs`) churns random claim/release sequences and
 //! checks the conservative direction against a reference search.
 
-use mech_chiplet::{HighwayLayout, PhysQubit};
+use mech_chiplet::{CsrGraph, PhysQubit};
 
 use crate::occupancy::GroupId;
 
@@ -108,8 +108,10 @@ impl ConnectivityIndex {
     }
 
     /// Rebuilds from the current owner state if dirty: exact free-graph
-    /// components, then per-group adjacency for the surviving claims.
-    pub fn ensure_fresh(&mut self, layout: &HighwayLayout, owner: &[Option<GroupId>]) {
+    /// components, then per-group adjacency for the surviving claims. The
+    /// highway mesh arrives as the occupancy's flat [`CsrGraph`] — the
+    /// same substrate object the claim searches run on.
+    pub fn ensure_fresh(&mut self, graph: &CsrGraph, owner: &[Option<GroupId>]) {
         if !self.dirty {
             return;
         }
@@ -124,18 +126,18 @@ impl ConnectivityIndex {
         }
         // Pass 1: free components. All unions happen here; between
         // rebuilds the representatives stay canonical.
-        for e in layout.edges() {
-            if owner[e.a.index()].is_none() && owner[e.b.index()].is_none() {
-                self.union(e.a.index(), e.b.index());
+        for &(a, b) in graph.endpoints() {
+            if owner[a.index()].is_none() && owner[b.index()].is_none() {
+                self.union(a.index(), b.index());
             }
         }
         // Pass 2: corridor adjacency, recorded privately per group so one
         // group's corridor never bleeds connectivity into another's view.
-        for e in layout.edges() {
-            let (oa, ob) = (owner[e.a.index()], owner[e.b.index()]);
+        for &(a, b) in graph.endpoints() {
+            let (oa, ob) = (owner[a.index()], owner[b.index()]);
             match (oa, ob) {
-                (Some(g), None) => self.record_adjacency(g, e.b),
-                (None, Some(g)) => self.record_adjacency(g, e.a),
+                (Some(g), None) => self.record_adjacency(g, b),
+                (None, Some(g)) => self.record_adjacency(g, a),
                 _ => {}
             }
         }
@@ -236,7 +238,7 @@ impl ConnectivityIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mech_chiplet::ChipletSpec;
+    use mech_chiplet::{ChipletSpec, HighwayLayout};
 
     fn setup() -> (mech_chiplet::Topology, HighwayLayout) {
         let topo = ChipletSpec::square(7, 1, 2).build();
@@ -244,12 +246,19 @@ mod tests {
         (topo, hw)
     }
 
+    /// The flat highway graph the occupancy would hand the index.
+    fn graph(topo: &mech_chiplet::Topology, hw: &HighwayLayout) -> CsrGraph {
+        let endpoints: Vec<(PhysQubit, PhysQubit)> =
+            hw.edges().iter().map(|e| (e.a, e.b)).collect();
+        CsrGraph::from_edges(topo.num_qubits() as usize, &endpoints)
+    }
+
     #[test]
     fn fresh_index_connects_the_whole_free_highway() {
         let (topo, hw) = setup();
         let owner = vec![None; topo.num_qubits() as usize];
         let mut idx = ConnectivityIndex::new(owner.len());
-        idx.ensure_fresh(&hw, &owner);
+        idx.ensure_fresh(&graph(&topo, &hw), &owner);
         let a = hw.nodes()[0];
         let b = *hw.nodes().last().unwrap();
         assert!(idx.may_connect(a, b, GroupId(0), &owner));
@@ -260,7 +269,7 @@ mod tests {
         let (topo, hw) = setup();
         let mut owner: Vec<Option<GroupId>> = vec![None; topo.num_qubits() as usize];
         let mut idx = ConnectivityIndex::new(owner.len());
-        idx.ensure_fresh(&hw, &owner);
+        idx.ensure_fresh(&graph(&topo, &hw), &owner);
         let g = GroupId(7);
         let a = hw.nodes()[0];
         idx.note_claim(a, g);
@@ -293,7 +302,7 @@ mod tests {
         }
         let mut idx = ConnectivityIndex::new(owner.len());
         idx.mark_dirty();
-        idx.ensure_fresh(&hw, &owner);
+        idx.ensure_fresh(&graph(&topo, &hw), &owner);
         // g itself bridges everything through its crossroads.
         assert!(idx.may_connect(a, b, g, &owner));
         // A different group cannot cross the claimed crossroads: the
@@ -307,7 +316,7 @@ mod tests {
         let (topo, hw) = setup();
         let mut owner: Vec<Option<GroupId>> = vec![None; topo.num_qubits() as usize];
         let mut idx = ConnectivityIndex::new(owner.len());
-        idx.ensure_fresh(&hw, &owner);
+        idx.ensure_fresh(&graph(&topo, &hw), &owner);
         let g = GroupId(0);
         for &q in &hw.nodes()[..3] {
             idx.note_claim(q, g);
@@ -318,7 +327,7 @@ mod tests {
             owner[q.index()] = None;
         }
         idx.mark_dirty();
-        idx.ensure_fresh(&hw, &owner);
+        idx.ensure_fresh(&graph(&topo, &hw), &owner);
         let a = hw.nodes()[0];
         let b = *hw.nodes().last().unwrap();
         assert!(idx.may_connect(a, b, GroupId(1), &owner));

@@ -6,10 +6,12 @@
 //! disturbed) to the access position and then interacts with the entrance
 //! directly.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mech_chiplet::{HighwayLayout, PhysQubit, StampMap, Topology};
+use mech_chiplet::{
+    BfsControl, BfsKernel, HighwayLayout, LinkKind, PhysQubit, QubitSet, RoutingGraph, StampSet,
+    Topology,
+};
 
 /// Process-wide count of BFS entrance searches run. Lets tests assert that
 /// the compiler builds its entrance tables once per compilation instead of
@@ -62,35 +64,106 @@ pub fn entrance_candidates(
     from: PhysQubit,
     limit: usize,
 ) -> Vec<EntranceOption> {
-    let mut scratch = SearchScratch::default();
+    let mut scratch = SearchScratch::new(topo);
     entrance_candidates_with(topo, layout, from, limit, &mut scratch)
 }
 
-/// Stamped BFS workspace shared across the per-qubit searches of a table
-/// build (the distance map is invalidated in O(1) instead of reallocated
-/// per data qubit).
-#[derive(Default)]
+/// The entrance search's traversal graph: the topology's adjacency in
+/// **grid-scan order** — per qubit, the on-chip north, west, south, east
+/// neighbors, then the cross-chip east-west link, then the cross-chip
+/// north-south link.
+///
+/// The search cuts off after `limit` options *mid-level* and records the
+/// first-visited access per entrance, so its results depend on the BFS
+/// expansion order — which makes that order part of the schedule contract
+/// (the golden fingerprints pin it). Grid-scan order is the seed
+/// compiler's adjacency insertion order, kept explicit here as its own
+/// flat graph instead of inherited from however the topology happens to
+/// lay out its rows (which are id-sorted for binary search). See
+/// `DESIGN.md` §10.
+struct ScanGraph {
+    starts: Vec<u32>,
+    targets: Vec<PhysQubit>,
+}
+
+impl ScanGraph {
+    fn build(topo: &Topology) -> ScanGraph {
+        let n = topo.num_qubits() as usize;
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        starts.push(0u32);
+        let mut row: Vec<(u8, PhysQubit)> = Vec::new();
+        for q in topo.qubits() {
+            let (r, c) = topo.coord(q);
+            row.clear();
+            for l in topo.neighbor_links(q) {
+                let (nr, nc) = topo.coord(l.to);
+                let key = match l.kind {
+                    LinkKind::OnChip => {
+                        if nr < r {
+                            0 // north
+                        } else if nc < c {
+                            1 // west
+                        } else if nr > r {
+                            2 // south
+                        } else {
+                            3 // east
+                        }
+                    }
+                    // Every lattice has at most one cross link per side.
+                    LinkKind::CrossChip => {
+                        if nc != c {
+                            4 // east-west stitch
+                        } else {
+                            5 // north-south stitch
+                        }
+                    }
+                };
+                row.push((key, l.to));
+            }
+            row.sort_by_key(|&(key, _)| key);
+            targets.extend(row.iter().map(|&(_, to)| to));
+            starts.push(targets.len() as u32);
+        }
+        ScanGraph { starts, targets }
+    }
+}
+
+impl RoutingGraph for ScanGraph {
+    fn num_nodes(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    fn neighbors(&self, q: PhysQubit) -> &[PhysQubit] {
+        &self.targets[self.starts[q.index()] as usize..self.starts[q.index() + 1] as usize]
+    }
+}
+
+/// Workspace shared across the per-qubit searches of a table build: the
+/// stamped-BFS kernel, the per-entrance seen set (both invalidated in O(1)
+/// per data qubit) and the scan-order traversal graph (built once per
+/// table).
 struct SearchScratch {
-    dist: StampMap<u32>,
-    queue: VecDeque<PhysQubit>,
+    bfs: BfsKernel,
+    seen: StampSet,
+    graph: ScanGraph,
 }
 
 impl SearchScratch {
-    fn begin(&mut self, n: usize) {
-        self.dist.begin(n);
-        self.queue.clear();
-    }
-
-    fn dist(&self, q: PhysQubit) -> u32 {
-        self.dist.get(q).unwrap_or(u32::MAX)
-    }
-
-    fn set_dist(&mut self, q: PhysQubit, d: u32) {
-        self.dist.insert(q, d);
+    fn new(topo: &Topology) -> SearchScratch {
+        SearchScratch {
+            bfs: BfsKernel::default(),
+            seen: StampSet::default(),
+            graph: ScanGraph::build(topo),
+        }
     }
 }
 
-/// [`entrance_candidates`] against a caller-provided workspace.
+/// [`entrance_candidates`] against a caller-provided workspace: a stamped
+/// BFS on the shared kernel over the scan-order graph, restricted to the
+/// data region. Each entrance keeps its first-visited access (BFS
+/// distances are nondecreasing, so that is a minimal-distance access),
+/// and the search stops as soon as `limit` options exist.
 fn entrance_candidates_with(
     topo: &Topology,
     layout: &HighwayLayout,
@@ -104,37 +177,31 @@ fn entrance_candidates_with(
     );
     SEARCHES.fetch_add(1, Ordering::Relaxed);
     let mut options: Vec<EntranceOption> = Vec::new();
-    scratch.begin(topo.num_qubits() as usize);
-    scratch.set_dist(from, 0);
-    scratch.queue.push_back(from);
-
-    while let Some(v) = scratch.queue.pop_front() {
-        // Every highway neighbor of this data position is an entrance.
-        for link in topo.neighbors(v) {
-            if layout.is_highway(link.to)
-                && !options
-                    .iter()
-                    .any(|o| o.entrance == link.to && o.distance <= scratch.dist(v))
-            {
-                options.push(EntranceOption {
-                    entrance: link.to,
-                    access: v,
-                    distance: scratch.dist(v),
-                });
+    let SearchScratch { bfs, seen, graph } = scratch;
+    seen.begin(topo.num_qubits() as usize);
+    bfs.run(
+        &*graph,
+        from,
+        |q| !layout.is_highway(q),
+        |v, d| {
+            // Every highway neighbor of this data position is an entrance.
+            for &nb in graph.neighbors(v) {
+                if layout.is_highway(nb) && !seen.contains_qubit(nb) {
+                    seen.insert(nb);
+                    options.push(EntranceOption {
+                        entrance: nb,
+                        access: v,
+                        distance: d,
+                    });
+                }
             }
-        }
-        if options.len() >= limit {
-            break;
-        }
-        for link in topo.neighbors(v) {
-            let n = link.to;
-            if !layout.is_highway(n) && scratch.dist(n) == u32::MAX {
-                let d = scratch.dist(v) + 1;
-                scratch.set_dist(n, d);
-                scratch.queue.push_back(n);
+            if options.len() >= limit {
+                BfsControl::Stop
+            } else {
+                BfsControl::Expand
             }
-        }
-    }
+        },
+    );
 
     options.sort_by_key(|o| (o.distance, o.entrance, o.access));
     options.truncate(limit);
@@ -171,7 +238,7 @@ impl EntranceTable {
     /// up to `limit` options each.
     pub fn build(topo: &Topology, layout: &HighwayLayout, limit: usize) -> Self {
         let mut options = vec![Vec::new(); topo.num_qubits() as usize];
-        let mut scratch = SearchScratch::default();
+        let mut scratch = SearchScratch::new(topo);
         for q in layout.data_qubits() {
             options[q.index()] = entrance_candidates_with(topo, layout, q, limit, &mut scratch);
         }
@@ -203,7 +270,7 @@ mod tests {
         let from = hw
             .data_qubits()
             .into_iter()
-            .find(|&q| topo.neighbors(q).iter().any(|l| hw.is_highway(l.to)))
+            .find(|&q| topo.neighbors(q).iter().any(|&nb| hw.is_highway(nb)))
             .unwrap();
         let opts = entrance_candidates(&topo, &hw, from, 3);
         assert_eq!(opts[0].distance, 0);

@@ -19,7 +19,8 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use mech_chiplet::{
-    HighwayEdgeKind, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, StampMap, Topology,
+    AdjacencyView, BfsControl, BfsKernel, HighwayEdgeKind, HighwayLayout, PhysCircuit, PhysQubit,
+    QubitSet, StampMap, Topology,
 };
 
 /// The result of a GHZ preparation: which claimed qubits stayed in the
@@ -117,7 +118,8 @@ pub struct GhzScratch {
     /// Used-color bitmask per node for the greedy edge coloring.
     node_colors: StampMap<u16>,
     edge_color: Vec<u8>,
-    queue: VecDeque<PhysQubit>,
+    /// Shared stamped-BFS kernel driving the tree coloring.
+    bfs: BfsKernel,
     to_measure: Vec<PhysQubit>,
     reentangle: Vec<(PhysQubit, PhysQubit)>,
 }
@@ -133,7 +135,6 @@ impl GhzScratch {
         self.color.begin(n);
         self.node_colors.begin(n);
         self.edge_color.clear();
-        self.queue.clear();
         self.to_measure.clear();
         self.reentangle.clear();
     }
@@ -231,27 +232,31 @@ pub fn prepare_ghz_with(
         }
     }
 
-    // 2-color the claimed tree; measure the color-1 class. The adjacency
-    // lists are filled in edge order, so neighbor iteration matches the
-    // claim-order traversal exactly.
+    // 2-color the claimed tree; measure the color-1 class. On a tree the
+    // color of a node is exactly the parity of its distance from the root,
+    // so the coloring rides the shared stamped-BFS kernel (adjacency lists
+    // in edge order, wrapped as a kernel graph view).
     for &(a, b) in edges {
         s.adj[a.index()].push(b);
         s.adj[b.index()].push(a);
     }
     let root = nodes[0];
-    s.color.insert(root, 0);
-    let mut colored = 1usize;
-    s.queue.push_back(root);
-    while let Some(q) = s.queue.pop_front() {
-        let c = s.color.get(q).expect("queued nodes are colored");
-        for i in 0..s.adj[q.index()].len() {
-            let nb = s.adj[q.index()][i];
-            if s.color.get(nb).is_none() {
-                s.color.insert(nb, 1 - c);
+    let mut colored = 0usize;
+    {
+        let GhzScratch {
+            adj, color, bfs, ..
+        } = &mut *s;
+        let tree = AdjacencyView { lists: adj };
+        bfs.run(
+            &tree,
+            root,
+            |_| true,
+            |q, d| {
+                color.insert(q, (d & 1) as u8);
                 colored += 1;
-                s.queue.push_back(nb);
-            }
-        }
+                BfsControl::Expand
+            },
+        );
     }
     assert_eq!(
         colored,

@@ -14,10 +14,10 @@
 //! that cannot be reached at all, so hopeless claims cost O(α) instead of
 //! a search.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::fmt;
 
-use mech_chiplet::{HighwayLayout, PhysQubit, RoutingScratch, UNREACHED};
+use mech_chiplet::{CsrGraph, DialSearch, HighwayLayout, PhysQubit, RoutingScratch};
 
 use crate::connectivity::ConnectivityIndex;
 
@@ -114,15 +114,12 @@ pub struct HighwayOccupancy {
     next_stamp: u32,
     /// Reusable routing workspace (same mechanism as the local router).
     scratch: RoutingScratch,
-    /// Flat CSR adjacency over highway nodes, copied from the layout on
-    /// first use: `adj_node[adj_start[q]..adj_start[q+1]]` are `q`'s
-    /// highway neighbors, `adj_edge` the matching layout edge indices.
-    adj_start: Vec<u32>,
-    adj_node: Vec<PhysQubit>,
-    adj_edge: Vec<u32>,
-    /// Dial buckets for the claim search, indexed by primary cost (sized
-    /// at graph build; always drained empty by the search).
-    buckets: Vec<VecDeque<PhysQubit>>,
+    /// Flat CSR view of the layout's highway graph (kernel-layer
+    /// [`CsrGraph`]: sorted rows plus edge-id lookup), built on first use.
+    graph: CsrGraph,
+    /// The resumable 0/1-bucket kernel driving the one-search claim
+    /// engine.
+    dial: DialSearch,
     graph_built: bool,
     /// Address of the layout's edge buffer the caches were built from,
     /// plus a spot-checked edge — a best-effort identity check that the
@@ -133,11 +130,6 @@ pub struct HighwayOccupancy {
     search_key: Option<(PhysQubit, GroupId)>,
     /// Owner-state generation the live search was computed at.
     search_epoch: u64,
-    /// Next bucket the live search will drain (all primaries below are
-    /// final).
-    search_next: usize,
-    /// Entries still queued in the live search's buckets.
-    search_pending: usize,
     /// Bumped on every owner change; a mismatch invalidates the search.
     owner_epoch: u64,
     /// O(α) reachability pre-filter.
@@ -160,17 +152,13 @@ impl HighwayOccupancy {
             edge_seen: Vec::new(),
             next_stamp: 1,
             scratch: RoutingScratch::default(),
-            adj_start: Vec::new(),
-            adj_node: Vec::new(),
-            adj_edge: Vec::new(),
-            buckets: Vec::new(),
+            graph: CsrGraph::default(),
+            dial: DialSearch::default(),
             graph_built: false,
             graph_addr: 0,
             graph_last_edge: None,
             search_key: None,
             search_epoch: 0,
-            search_next: 0,
-            search_pending: 0,
             owner_epoch: 0,
             connectivity: ConnectivityIndex::new(n),
             searches: 0,
@@ -238,7 +226,8 @@ impl HighwayOccupancy {
         if from == to {
             return true;
         }
-        self.connectivity.ensure_fresh(layout, &self.owner);
+        self.ensure_graph(layout);
+        self.connectivity.ensure_fresh(&self.graph, &self.owner);
         self.connectivity.may_connect(from, to, g, &self.owner)
     }
 
@@ -293,7 +282,7 @@ impl HighwayOccupancy {
             return Err(RouteError::Congested);
         }
         self.ensure_graph(layout);
-        self.connectivity.ensure_fresh(layout, &self.owner);
+        self.connectivity.ensure_fresh(&self.graph, &self.owner);
 
         // Trivial self-claim (hub entrances): no search required.
         if from == to {
@@ -333,31 +322,19 @@ impl HighwayOccupancy {
     ///
     /// Cost is `(newly claimed qubits, hops)` lexicographically — entering
     /// a free node costs 1, a `g`-owned node 0, other-owned nodes are
-    /// impassable. With 0/1 node weights the search runs as a Dial-style
-    /// bucket scan over the primary cost (FIFO within a bucket, so hops
-    /// settle in BFS order): each bucket drains to a fixpoint before the
-    /// next starts, so once bucket `p` has drained every cost with primary
-    /// ≤ `p` is final — the unique fixpoint of the same relaxation a heap
-    /// Dijkstra computes, with no heap traffic. The scan is *lazy*:
-    /// [`HighwayOccupancy::advance_search_to`] drains only as many buckets
-    /// as the queried destination needs and resumes where it stopped, so
-    /// near-corridor candidates cost a fraction of the full graph while
-    /// one search still serves every destination.
+    /// impassable. With 0/1 node weights the search runs on the kernel
+    /// layer's resumable [`DialSearch`]: each bucket drains to a fixpoint
+    /// before the next starts, so once bucket `p` has drained every cost
+    /// with primary ≤ `p` is final — the unique fixpoint of the same
+    /// relaxation a heap Dijkstra computes, with no heap traffic. The scan
+    /// is *lazy*: [`HighwayOccupancy::advance_search_to`] drains only as
+    /// many buckets as the queried destination needs and resumes where it
+    /// stopped, so near-corridor candidates cost a fraction of the full
+    /// graph while one search still serves every destination.
     fn begin_search(&mut self, from: PhysQubit, g: GroupId) {
-        if self.search_pending > 0 {
-            // An invalidated search left queued entries behind (it only
-            // drained as far as its claims needed).
-            for bucket in &mut self.buckets[self.search_next..] {
-                bucket.clear();
-            }
-            self.search_pending = 0;
-        }
-        self.scratch.begin(self.owner.len());
         let start = (u32::from(self.owner[from.index()] != Some(g)), 0);
-        self.scratch.set_cost(from, start);
-        self.buckets[start.0 as usize].push_back(from);
-        self.search_next = start.0 as usize;
-        self.search_pending = 1;
+        self.dial
+            .begin(&mut self.scratch, self.owner.len(), from, start);
         self.search_key = Some((from, g));
         self.search_epoch = self.owner_epoch;
         self.searches += 1;
@@ -366,48 +343,18 @@ impl HighwayOccupancy {
     /// Drains the live search until `to`'s cost is final (returning `true`)
     /// or the search is exhausted with `to` unreached (`false`).
     fn advance_search_to(&mut self, to: PhysQubit, g: GroupId) -> bool {
-        loop {
-            let c = self.scratch.cost(to);
-            if c != UNREACHED && (c.0 as usize) < self.search_next {
-                return true;
-            }
-            if self.search_pending == 0 {
-                return false;
-            }
-            let Self {
-                owner,
-                scratch,
-                adj_start,
-                adj_node,
-                buckets,
-                search_next,
-                search_pending,
-                ..
-            } = self;
-            let p = *search_next;
-            while let Some(q) = buckets[p].pop_front() {
-                *search_pending -= 1;
-                let cost = scratch.cost(q);
-                if cost.0 != p as u32 {
-                    continue; // superseded by a cheaper bucket
-                }
-                let lo = adj_start[q.index()] as usize;
-                let hi = adj_start[q.index() + 1] as usize;
-                for &nb in &adj_node[lo..hi] {
-                    let o = owner[nb.index()];
-                    if o.is_some_and(|o| o != g) {
-                        continue;
-                    }
-                    let ncost = (cost.0 + u32::from(o.is_none()), cost.1 + 1);
-                    if ncost < scratch.cost(nb) {
-                        scratch.set_cost(nb, ncost);
-                        buckets[ncost.0 as usize].push_back(nb);
-                        *search_pending += 1;
-                    }
-                }
-            }
-            *search_next += 1;
-        }
+        let Self {
+            owner,
+            scratch,
+            graph,
+            dial,
+            ..
+        } = self;
+        dial.advance_to(scratch, graph, to, |nb| match owner[nb.index()] {
+            None => Some(1),
+            Some(o) if o == g => Some(0),
+            Some(_) => None,
+        })
     }
 
     /// Reconstructs the minimal-new-claim path from the settled search into
@@ -418,8 +365,7 @@ impl HighwayOccupancy {
         let Self {
             owner,
             scratch,
-            adj_start,
-            adj_node,
+            graph,
             ..
         } = self;
         scratch.reconstruct_path(
@@ -427,9 +373,9 @@ impl HighwayOccupancy {
             to,
             |q| (u32::from(owner[q.index()] != Some(g)), 1),
             |q| {
-                let lo = adj_start[q.index()] as usize;
-                let hi = adj_start[q.index() + 1] as usize;
-                adj_node[lo..hi].iter().copied()
+                mech_chiplet::RoutingGraph::neighbors(graph, q)
+                    .iter()
+                    .copied()
             },
         );
         debug_assert_eq!(scratch.path[0], from);
@@ -459,9 +405,7 @@ impl HighwayOccupancy {
             claimed,
             edge_seen,
             scratch,
-            adj_start,
-            adj_node,
-            adj_edge,
+            graph,
             owner_epoch,
             connectivity,
             ..
@@ -482,12 +426,9 @@ impl HighwayOccupancy {
             *owner_epoch += 1;
         }
         for w in path.windows(2) {
-            let lo = adj_start[w[0].index()] as usize;
-            let hi = adj_start[w[0].index() + 1] as usize;
-            let slot = (lo..hi)
-                .find(|&i| adj_node[i] == w[1])
-                .expect("claimed paths step along highway edges");
-            let eid = adj_edge[slot] as usize;
+            let eid = graph
+                .edge_id(w[0], w[1])
+                .expect("claimed paths step along highway edges") as usize;
             if edge_seen[eid] != claim.stamp {
                 edge_seen[eid] = claim.stamp;
                 claim.edges.push((w[0].min(w[1]), w[0].max(w[1])));
@@ -495,8 +436,8 @@ impl HighwayOccupancy {
         }
     }
 
-    /// Builds the flat adjacency copy of the layout's highway graph on
-    /// first use.
+    /// Builds the flat CSR copy of the layout's highway graph on first
+    /// use.
     fn ensure_graph(&mut self, layout: &HighwayLayout) {
         if self.graph_built {
             // Loud in release too: silently routing over a cached copy of
@@ -515,30 +456,12 @@ impl HighwayOccupancy {
         self.graph_built = true;
         self.graph_addr = layout.edges().as_ptr() as usize;
         self.graph_last_edge = layout.edges().last().map(|e| (e.a, e.b));
-        let n = self.owner.len();
         let edges = layout.edges();
+        let endpoints: Vec<(PhysQubit, PhysQubit)> = edges.iter().map(|e| (e.a, e.b)).collect();
+        self.graph = CsrGraph::from_edges(self.owner.len(), &endpoints);
         // Primary cost ≤ one per distinct highway node on a path.
-        self.buckets = vec![VecDeque::new(); layout.nodes().len() + 2];
+        self.dial.fit(layout.nodes().len() + 1);
         self.edge_seen = vec![0; edges.len()];
-        self.adj_start = vec![0; n + 1];
-        for e in edges {
-            self.adj_start[e.a.index() + 1] += 1;
-            self.adj_start[e.b.index() + 1] += 1;
-        }
-        for i in 0..n {
-            self.adj_start[i + 1] += self.adj_start[i];
-        }
-        self.adj_node = vec![PhysQubit(0); 2 * edges.len()];
-        self.adj_edge = vec![0; 2 * edges.len()];
-        let mut cursor: Vec<u32> = self.adj_start[..n].to_vec();
-        for (idx, e) in edges.iter().enumerate() {
-            for (x, y) in [(e.a, e.b), (e.b, e.a)] {
-                let c = cursor[x.index()] as usize;
-                self.adj_node[c] = y;
-                self.adj_edge[c] = idx as u32;
-                cursor[x.index()] += 1;
-            }
-        }
     }
 
     /// Releases the resources of a single group (used when a gate fails to

@@ -337,7 +337,7 @@ mod tests {
         let hub_data = topo
             .neighbors(a)
             .iter()
-            .map(|l| l.to)
+            .copied()
             .find(|&q| !hw.is_highway(q))
             .unwrap();
         st.register_group(
@@ -371,7 +371,7 @@ mod tests {
         let access = topo
             .neighbors(target_entrance)
             .iter()
-            .map(|l| l.to)
+            .copied()
             .find(|&q| !hw.is_highway(q) && q != hub_data)
             .unwrap();
         st.component(&mut pc, &topo, gid, target_entrance, access);

@@ -17,10 +17,11 @@
 //! `(cost, qubit)` pop order builds — the search upgrade cannot change
 //! compiled schedules.
 
-use std::cmp::Reverse;
 use std::fmt;
 
-use mech_chiplet::{HighwayLayout, PhysCircuit, PhysQubit, QubitSet, RoutingScratch, Topology};
+use mech_chiplet::{
+    astar_route, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, RoutingScratch, Topology,
+};
 
 use crate::mapping::Mapping;
 
@@ -166,9 +167,10 @@ impl<'a> LocalRouter<'a> {
     /// idle highway qubit costs 2 (the forward swap plus the restoring
     /// swap that puts the ancilla back once the traveler has passed). A
     /// run of `k` consecutive highway qubits therefore costs `2k + 1`
-    /// swaps. The hop-distance table is the heuristic (each hop costs at
-    /// least 1). Leaves the node path from `from` to `to` inclusive in
-    /// `self.scratch.path`.
+    /// swaps. The search runs on the shared [`astar_route`] kernel over the
+    /// topology's CSR rows, with the hop-distance table as the heuristic
+    /// (each hop costs at least 1). Leaves the node path from `from` to
+    /// `to` inclusive in `self.scratch.path`.
     fn find_path<S: QubitSet>(
         &mut self,
         from: PhysQubit,
@@ -184,45 +186,19 @@ impl<'a> LocalRouter<'a> {
             return Ok(());
         }
 
-        scratch.begin(topo.num_qubits() as usize);
-        let h = |q: PhysQubit| topo.distance(q, to);
-        scratch.set_cost(from, (0, 0));
-        scratch.heap.push(Reverse(((h(from), 0), from)));
-        // Once the goal cost is known, keep draining entries with f ≤
-        // g(to): that finalizes every node the path reconstruction can
-        // visit (anything with a better f), at which point the recorded
-        // costs agree with a full Dijkstra's.
-        let mut goal_cost: Option<u32> = None;
-
-        while let Some(Reverse(((f, _), q))) = scratch.heap.pop() {
-            if goal_cost.is_some_and(|g_to| f > g_to) {
-                break;
-            }
-            let (g, _) = scratch.cost(q);
-            if g == u32::MAX || f != g + h(q) {
-                continue; // stale entry superseded by a cheaper relaxation
-            }
-            if q == to {
-                continue; // never expand through the destination
-            }
-            for link in topo.neighbors(q) {
-                let v = link.to;
-                if v != to && pinned.contains_qubit(v) {
-                    continue;
-                }
-                let step = if layout.is_highway(v) { 2 } else { 1 };
-                let ng = g + step;
-                if ng < scratch.cost(v).0 {
-                    scratch.set_cost(v, (ng, 0));
-                    if v == to {
-                        goal_cost = Some(ng);
-                    }
-                    scratch.heap.push(Reverse(((ng + h(v), 0), v)));
-                }
-            }
-        }
-
-        if !scratch.reached(to) {
+        // Hop distances are symmetric, so `to`'s table row serves as the
+        // distance-to-goal heuristic.
+        let h_row = topo.distances_from(to);
+        let reached = astar_route(
+            scratch,
+            topo,
+            from,
+            to,
+            |v| !pinned.contains_qubit(v),
+            |v| if layout.is_highway(v) { 2 } else { 1 },
+            |q| u32::from(h_row[q.index()]),
+        );
+        if !reached {
             return Err(RoutingError::Disconnected { from, to });
         }
 
@@ -230,7 +206,7 @@ impl<'a> LocalRouter<'a> {
             from,
             to,
             |q| if layout.is_highway(q) { (2, 0) } else { (1, 0) },
-            |q| topo.neighbors(q).iter().map(|l| l.to),
+            |q| topo.neighbors(q).iter().copied(),
         );
         debug_assert_eq!(scratch.path[0], from);
         Ok(())
@@ -469,7 +445,7 @@ impl<'a> LocalRouter<'a> {
                     let dest = if near != pa {
                         Some(near)
                     } else {
-                        self.topo.neighbors(pa).iter().map(|l| l.to).find(|&q| {
+                        self.topo.neighbors(pa).iter().copied().find(|&q| {
                             q != pb && !self.layout.is_highway(q) && !pinned.contains_qubit(q)
                         })
                     };
@@ -494,6 +470,7 @@ mod tests {
     use super::*;
     use mech_chiplet::{ChipletSpec, CostModel, CouplingStructure};
     use mech_circuit::Qubit;
+    use std::cmp::Reverse;
     use std::collections::HashSet;
 
     fn setup() -> (Topology, HighwayLayout) {
@@ -600,8 +577,7 @@ mod tests {
             if u == to {
                 break;
             }
-            for link in topo.neighbors(u) {
-                let v = link.to;
+            for &v in topo.neighbors(u) {
                 let step = if hw.is_highway(v) { 2 } else { 1 };
                 let nc = c + step;
                 if nc < cost[v.index()] {

@@ -214,8 +214,8 @@ pub fn sabre_route(
         candidates.clear();
         for &(_, a, b) in &front {
             for q in [mapping.phys(a), mapping.phys(b)] {
-                for link in topo.neighbors(q) {
-                    let pair = (q.min(link.to), q.max(link.to));
+                for &nb in topo.neighbors(q) {
+                    let pair = (q.min(nb), q.max(nb));
                     if !candidates.contains(&pair) {
                         candidates.push(pair);
                     }
@@ -314,7 +314,7 @@ fn force_route(pc: &mut PhysCircuit, topo: &Topology, mapping: &mut Mapping, a: 
         let next = topo
             .neighbors(cur)
             .iter()
-            .map(|l| l.to)
+            .copied()
             .min_by_key(|&n| topo.distance(n, target))
             .expect("connected topology");
         pc.swap(topo, cur, next);

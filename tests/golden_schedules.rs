@@ -20,7 +20,7 @@
 
 use mech::{CompilerConfig, MechCompiler};
 use mech_bench::programs;
-use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayLayout};
 use mech_circuit::Circuit;
 
 /// Thread counts every fingerprint is checked at: serial, minimal
@@ -126,6 +126,24 @@ fn golden_random_6x6_2x2() {
 }
 
 #[test]
+fn golden_qft_heavy_hex_8x8_2x2() {
+    // A non-square lattice: heavy-hexagon chiplets have missing cells,
+    // degree-3 qubits and corridors carved around holes, so this pins the
+    // carve, entrance and claim geometry the square goldens never touch.
+    // Captured after the CSR routing-substrate refactor (PR 5) — it locks
+    // in the kernel layer's canonical tie-breaks on irregular lattices.
+    let dev = ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 2, 2);
+    let n = data_width(dev, 1);
+    check(
+        "qft_heavyhex_8x8_2x2",
+        dev,
+        1,
+        &programs::qft(n),
+        GOLDEN_QFT_HEAVY_HEX,
+    );
+}
+
+#[test]
 fn golden_qft_dense_highway_7x7_1x2() {
     // A second device shape and a denser highway exercise different claim
     // geometry and entrance tables.
@@ -150,4 +168,5 @@ const GOLDEN_QAOA: &str = "depth=2431 on=12883 cross=777 meas=3785 one=14624 reg
 const GOLDEN_VQE: &str = "depth=3084 on=19981 cross=859 meas=4097 one=21135 regular=3 shuttles=105 hwgates=105 comps=5775 trace=(42,1,107,36)(78,1,106,36)(120,1,105,36)(162,1,104,36)(204,1,103,36)(243,1,102,36)(286,1,101,36)(328,1,100,36)(359,1,99,36)(393,1,98,36)(429,1,97,36)(468,1,96,36)(500,1,95,36)(533,1,94,36)(567,1,93,36)(598,1,92,36)(631,1,91,36)(670,1,90,36)(702,1,89,36)(732,1,88,36)(766,1,87,36)(799,1,86,36)(832,1,85,36)(871,1,84,36)(903,1,83,36)(936,1,82,36)(968,1,81,36)(1001,1,80,36)(1032,1,79,36)(1068,1,78,36)(1102,1,77,34)(1132,1,76,33)(1169,1,75,32)(1203,1,74,32)(1236,1,73,32)(1275,1,72,32)(1309,1,71,32)(1341,1,70,32)(1377,1,69,32)(1411,1,68,32)(1446,1,67,32)(1485,1,66,32)(1517,1,65,32)(1547,1,64,32)(1578,1,63,32)(1611,1,62,32)(1644,1,61,32)(1683,1,60,32)(1712,1,59,32)(1745,1,58,32)(1776,1,57,32)(1806,1,56,32)(1836,1,55,32)(1872,1,54,31)(1904,1,53,30)(1937,1,52,25)(1968,1,51,30)(1998,1,50,30)(2028,1,49,30)(2064,1,48,30)(2095,1,47,32)(2119,1,46,29)(2146,1,45,32)(2175,1,44,29)(2203,1,43,29)(2227,1,42,29)(2250,1,41,32)(2274,1,40,28)(2293,1,39,31)(2315,1,38,27)(2347,1,37,27)(2371,1,36,31)(2394,1,35,31)(2414,1,34,31)(2434,1,33,31)(2455,1,32,26)(2476,1,31,26)(2500,1,30,26)(2520,1,29,26)(2544,1,28,25)(2564,1,27,25)(2586,1,26,21)(2610,1,25,21)(2630,1,24,21)(2654,1,23,16)(2674,1,22,16)(2704,1,21,14)(2735,1,20,14)(2757,1,19,14)(2779,1,18,14)(2801,1,17,14)(2822,1,16,14)(2845,1,15,14)(2865,1,14,14)(2888,1,13,14)(2907,1,12,14)(2927,1,11,14)(2944,1,10,14)(2961,1,9,13)(2982,1,8,13)(2999,1,7,13)(3016,1,6,11)(3034,1,5,8)(3051,1,4,8)(3066,1,3,5)";
 const GOLDEN_BV: &str = "depth=25 on=198 cross=10 meas=154 one=433 regular=0 shuttles=1 hwgates=1 comps=53 trace=(25,1,53,35)";
 const GOLDEN_RANDOM: &str = "depth=1414 on=3233 cross=300 meas=276 one=859 regular=160 shuttles=15 hwgates=26 comps=68 trace=(20,2,7,12)(216,1,4,10)(241,1,4,12)(282,2,5,23)(294,1,3,11)(453,2,5,12)(617,2,4,11)(744,3,6,16)(785,2,4,26)(801,1,3,10)(981,3,6,14)(1125,1,3,11)(1285,2,5,11)(1304,2,5,12)(1329,1,4,10)";
+const GOLDEN_QFT_HEAVY_HEX: &str = "depth=4301 on=30300 cross=1389 meas=4603 one=21526 regular=17 shuttles=106 hwgates=106 comps=5339 trace=(55,1,103,53)(102,1,102,53)(155,1,101,53)(202,1,100,53)(249,1,96,53)(296,1,98,53)(343,1,97,53)(390,1,93,53)(437,1,95,53)(484,1,91,53)(531,1,93,53)(546,1,1,16)(561,1,1,16)(608,1,92,53)(627,1,2,16)(646,1,2,16)(693,1,90,53)(740,1,90,53)(787,1,89,53)(834,1,88,53)(881,1,87,52)(928,1,86,52)(975,1,85,52)(1022,1,84,52)(1069,1,83,51)(1116,1,82,51)(1160,1,81,51)(1207,1,80,51)(1254,1,79,51)(1298,1,78,51)(1345,1,77,48)(1388,1,76,48)(1435,1,75,49)(1478,1,74,48)(1525,1,73,45)(1572,1,72,46)(1616,1,71,45)(1660,1,70,45)(1703,1,69,44)(1747,1,68,44)(1797,1,67,44)(1844,1,66,44)(1890,1,65,44)(1937,1,64,40)(1985,1,63,40)(2030,1,62,40)(2075,1,61,40)(2126,1,60,40)(2171,1,59,40)(2219,1,58,40)(2266,1,57,40)(2315,1,56,40)(2363,1,55,40)(2412,1,54,40)(2464,1,53,40)(2508,1,52,40)(2558,1,51,27)(2605,1,50,40)(2652,1,49,40)(2704,1,48,27)(2751,1,47,40)(2798,1,46,27)(2849,1,45,27)(2904,1,44,30)(2937,1,43,39)(2979,1,42,30)(3015,1,41,39)(3048,1,40,39)(3087,1,39,27)(3121,1,38,40)(3160,1,37,27)(3202,1,36,27)(3238,1,35,27)(3273,1,34,27)(3305,1,33,24)(3343,1,32,22)(3380,1,31,22)(3417,1,30,22)(3453,1,29,22)(3488,1,28,22)(3523,1,27,20)(3554,1,26,22)(3590,1,25,23)(3623,1,24,22)(3658,1,23,17)(3693,1,22,18)(3724,1,21,17)(3757,1,20,17)(3793,1,19,16)(3827,1,18,16)(3857,1,17,16)(3898,1,16,16)(3928,1,15,16)(3969,1,14,16)(4002,1,13,16)(4037,1,12,16)(4066,1,11,16)(4088,1,6,16)(4116,1,9,16)(4132,1,4,16)(4162,1,7,16)(4187,1,1,7)(4209,1,6,16)(4239,1,3,16)(4261,1,3,16)(4278,1,3,16)";
 const GOLDEN_QFT_DENSE: &str = "depth=807 on=3742 cross=115 meas=2052 one=7231 regular=3 shuttles=47 hwgates=47 comps=1222 trace=(23,1,49,45)(41,1,48,45)(59,1,47,45)(80,1,46,46)(97,1,45,45)(115,1,44,45)(134,1,43,45)(152,1,42,45)(169,1,41,44)(187,1,40,46)(204,1,39,44)(220,1,38,43)(236,1,37,43)(252,1,36,43)(271,1,35,42)(288,1,34,42)(304,1,33,40)(320,1,32,41)(337,1,31,39)(353,1,30,40)(370,1,29,37)(386,1,28,36)(402,1,27,35)(419,1,26,36)(436,1,25,35)(453,1,24,36)(469,1,23,35)(485,1,22,36)(502,1,21,35)(518,1,20,36)(534,1,19,22)(550,1,18,22)(565,1,17,22)(581,1,16,22)(597,1,15,22)(614,1,14,22)(629,1,13,22)(644,1,12,22)(660,1,11,22)(679,1,10,22)(694,1,9,20)(709,1,8,20)(724,1,7,18)(743,1,6,14)(756,1,5,11)(768,1,4,11)(779,1,3,9)";

@@ -73,7 +73,7 @@ proptest! {
         let topo = spec.build();
         prop_assert!(topo.num_qubits() > 0);
         for q in topo.qubits() {
-            for l in topo.neighbors(q) {
+            for l in topo.neighbor_links(q) {
                 prop_assert_eq!(topo.coupling(l.to, q), Some(l.kind));
                 match l.kind {
                     LinkKind::OnChip => prop_assert_eq!(topo.chiplet(q), topo.chiplet(l.to)),
