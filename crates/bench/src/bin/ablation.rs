@@ -4,22 +4,22 @@
 //! * `min_components` — the aggregation threshold below which gates run
 //!   off-highway. Too low wastes shuttles on tiny bundles; too high strands
 //!   medium bundles in SWAP routing.
-//! * `entrance_candidates` — how many entrances each data qubit considers.
+//! * `entrance_candidates` — how many entrances each data qubit considers
+//!   (a device-spec knob: each setting is a distinct cached device).
 //!   One candidate forfeits the earliest-execution selection of §6.1.
 //!
 //! Usage: `cargo run --release -p mech-bench --bin ablation [-- --quick --csv]`
 
-use mech::{CompilerConfig, GhzStyle};
+use mech::{CompilerConfig, DeviceSpec, GhzStyle};
 use mech_bench::{run_cell, HarnessArgs};
-use mech_chiplet::ChipletSpec;
 use mech_circuit::benchmarks::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
     let spec = if args.quick {
-        ChipletSpec::square(5, 2, 2)
+        DeviceSpec::square(5, 2, 2)
     } else {
-        ChipletSpec::square(7, 2, 3)
+        DeviceSpec::square(7, 2, 3)
     };
 
     println!("# ablation: aggregation threshold (min_components)");
@@ -37,7 +37,7 @@ fn main() {
             ..CompilerConfig::default()
         };
         for bench in [Benchmark::Qft, Benchmark::Qaoa] {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             if args.csv {
                 println!(
                     "{min},{bench},{:.4},{:.4}",
@@ -74,7 +74,7 @@ fn main() {
             ..CompilerConfig::default()
         };
         for bench in [Benchmark::Qft, Benchmark::Bv] {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             if args.csv {
                 println!(
                     "{name},{bench},{},{},{:.4}",
@@ -105,12 +105,9 @@ fn main() {
         );
     }
     for &k in &[1usize, 2, 4, 8] {
-        let config = CompilerConfig {
-            entrance_candidates: k,
-            ..CompilerConfig::default()
-        };
+        let config = CompilerConfig::default();
         for bench in [Benchmark::Qft, Benchmark::Qaoa] {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec.with_entrance_candidates(k), bench, 2024, config);
             if args.csv {
                 println!(
                     "{k},{bench},{:.4},{:.4}",

@@ -4,9 +4,8 @@
 //!
 //! Usage: `cargo run --release -p mech-bench --bin fig12_scalability [-- --quick --csv]`
 
-use mech::CompilerConfig;
+use mech::{CompilerConfig, DeviceSpec};
 use mech_bench::{run_cell, HarnessArgs};
-use mech_chiplet::ChipletSpec;
 use mech_circuit::benchmarks::Benchmark;
 
 fn main() {
@@ -27,9 +26,9 @@ fn main() {
         );
     }
     for &(r, c) in arrays {
-        let spec = ChipletSpec::square(7, r, c);
+        let spec = DeviceSpec::square(7, r, c);
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             if args.csv {
                 println!(
                     "{},{}-{},{:.4},{:.4}",

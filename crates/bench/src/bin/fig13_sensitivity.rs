@@ -8,16 +8,15 @@
 //!
 //! Usage: `cargo run --release -p mech-bench --bin fig13_sensitivity [-- --quick --csv]`
 
-use mech::{CompilerConfig, CostModel};
+use mech::{CompilerConfig, CostModel, DeviceSpec};
 use mech_bench::{run_cell, HarnessArgs, RunOutcome};
-use mech_chiplet::ChipletSpec;
 use mech_circuit::benchmarks::Benchmark;
 
-fn spec(quick: bool) -> ChipletSpec {
+fn spec(quick: bool) -> DeviceSpec {
     if quick {
-        ChipletSpec::square(5, 2, 2)
+        DeviceSpec::square(5, 2, 2)
     } else {
-        ChipletSpec::square(7, 3, 3)
+        DeviceSpec::square(7, 3, 3)
     }
 }
 
@@ -63,7 +62,7 @@ fn main() {
             ..CompilerConfig::default()
         };
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             if args.csv {
                 println!("{lat},{bench},{:.4}", o.depth_improvement());
             } else {
@@ -81,7 +80,7 @@ fn main() {
     let config = CompilerConfig::default();
     let outcomes: Vec<RunOutcome> = Benchmark::ALL
         .iter()
-        .map(|&b| run_cell(spec, 1, b, 2024, config))
+        .map(|&b| run_cell(spec, b, 2024, config))
         .collect();
 
     // (b) Measurement error-rate ratio sweep: eff_CNOTs improvement.

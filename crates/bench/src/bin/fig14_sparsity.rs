@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p mech-bench --bin fig14_sparsity [-- --quick --csv]`
 
-use mech::CompilerConfig;
+use mech::{CompilerConfig, DeviceSpec};
 use mech_bench::{run_cell, HarnessArgs};
 use mech_chiplet::ChipletSpec;
 use mech_circuit::benchmarks::Benchmark;
@@ -25,9 +25,9 @@ fn main() {
     for &k in kept {
         let d = if args.quick { 5 } else { 7 };
         let (rows, cols) = if args.quick { (2, 2) } else { (3, 3) };
-        let spec = ChipletSpec::square(d, rows, cols).with_cross_links_per_edge(k);
+        let spec = DeviceSpec::new(ChipletSpec::square(d, rows, cols).with_cross_links_per_edge(k));
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {

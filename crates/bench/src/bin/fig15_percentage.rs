@@ -6,18 +6,17 @@
 //!
 //! Usage: `cargo run --release -p mech-bench --bin fig15_percentage [-- --quick --csv]`
 
-use mech::CompilerConfig;
+use mech::{CompilerConfig, DeviceSpec};
 use mech_bench::{run_cell, HarnessArgs};
-use mech_chiplet::ChipletSpec;
 use mech_circuit::benchmarks::Benchmark;
 
 fn main() {
     let args = HarnessArgs::parse();
     let densities: &[u32] = if args.quick { &[1, 2] } else { &[1, 2, 3] };
     let spec = if args.quick {
-        ChipletSpec::square(7, 1, 2)
+        DeviceSpec::square(7, 1, 2)
     } else {
-        ChipletSpec::square(9, 2, 3)
+        DeviceSpec::square(9, 2, 3)
     };
 
     if args.csv {
@@ -29,12 +28,9 @@ fn main() {
         );
     }
     for &density in densities {
-        let config = CompilerConfig {
-            highway_density: density,
-            ..CompilerConfig::default()
-        };
+        let config = CompilerConfig::default();
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, density, bench, 2024, config);
+            let o = run_cell(spec.with_density(density), bench, 2024, config);
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {

@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run --release -p mech-bench --bin fig16_coupling [-- --quick --csv]`
 
-use mech::CompilerConfig;
+use mech::{CompilerConfig, DeviceSpec};
 use mech_bench::{run_cell, HarnessArgs};
 use mech_chiplet::{ChipletSpec, CouplingStructure};
 use mech_circuit::benchmarks::Benchmark;
@@ -36,9 +36,9 @@ fn main() {
         );
     }
     for (structure, d, rows, cols) in settings {
-        let spec = ChipletSpec::new(structure, d, rows, cols);
+        let spec = DeviceSpec::new(ChipletSpec::new(structure, d, rows, cols));
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {

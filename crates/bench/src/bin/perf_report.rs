@@ -8,7 +8,9 @@
 //! ```text
 //! cargo run --release -p mech-bench --bin perf_report -- \
 //!     [--quick] [--label <name>] [--out <path>] [--iters <k>] [--threads <t>]
-//! cargo run --release -p mech-bench --bin perf_report -- --check [--out <path>]
+//! cargo run --release -p mech-bench --bin perf_report -- --serve \
+//!     [--quick] [--label <name>] [--serve-out <path>]
+//! cargo run --release -p mech-bench --bin perf_report -- --check [--out <path>] [--serve-out <path>]
 //! ```
 //!
 //! `--quick` shrinks the device for a CI smoke run; `--label` names the run
@@ -27,29 +29,46 @@
 //! component count) — a CI-smoke guard against the one-search engine
 //! silently regressing to per-candidate searches.
 //!
+//! `--serve` drives the multi-tenant front end instead: a ladder of
+//! [`CompileService`] pools (1 worker, then 4) over one `Arc`-shared
+//! device bundle, fed a mixed QFT/VQE/QAOA/rand-dense request stream, with
+//! every served schedule asserted bit-identical to a direct serial
+//! compile. Each rung appends `{label, mode, workers, cores, requests,
+//! qubits, wall_ms, compiles_per_sec, p50_ms, p99_ms}` to
+//! `BENCH_serve.json`.
+//!
 //! `--check` runs no benchmarks: it parses the *committed*
-//! `BENCH_compile.json` and asserts the recorded perf trajectory — the
-//! `post-csr` run must hold the CSR routing-substrate bar (QFT and VQE
-//! MECH compile ≥ 10% faster than `post-claim-engine`; both runs were
-//! recorded on the same machine, so the ratio is meaningful where raw
-//! wall-clock in CI would not be). This keeps the baseline file honest:
-//! a PR that regresses the hot path and silently re-records a slower
-//! `post-csr` fails CI.
+//! `BENCH_compile.json` and `BENCH_serve.json` and asserts the recorded
+//! perf trajectories. For the compile file, the `post-csr` run must hold
+//! the CSR routing-substrate bar (QFT and VQE MECH compile ≥ 10% faster
+//! than `post-claim-engine`; both runs were recorded on the same machine,
+//! so the ratio is meaningful where raw wall-clock in CI would not be).
+//! For the serve file, the latest full-mode concurrent rung must hold the
+//! serve bar against the latest full-mode serial rung: ≥ 2× compiles/sec
+//! when the recording machine had ≥ 4 cores, else (artifact sharing and
+//! queueing can't beat physics on one core) ≥ 0.9× — concurrency must be
+//! overhead-free even where it cannot be faster. This keeps the baseline
+//! files honest: a PR that regresses the hot path or the service and
+//! silently re-records slower numbers fails CI.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler};
-use mech_bench::programs::TIMED_FAMILIES;
-use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech::{BaselineCompiler, CompileResult, CompilerConfig, DeviceSpec, MechCompiler};
+use mech_bench::programs::{self, TIMED_FAMILIES};
+use mech_bench::serve::{CompileService, ServeOptions, ServeOutcome};
+use mech_circuit::Circuit;
 
 struct Args {
     quick: bool,
     label: String,
     out: String,
+    serve_out: String,
     iters: u32,
     threads: usize,
     check: bool,
+    serve: bool,
 }
 
 fn parse_args() -> Args {
@@ -57,17 +76,21 @@ fn parse_args() -> Args {
         quick: false,
         label: "run".to_string(),
         out: "BENCH_compile.json".to_string(),
+        serve_out: "BENCH_serve.json".to_string(),
         iters: 2,
         threads: CompilerConfig::default().threads,
         check: false,
+        serve: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--check" => args.check = true,
+            "--serve" => args.serve = true,
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = it.next().expect("--out needs a value"),
+            "--serve-out" => args.serve_out = it.next().expect("--serve-out needs a value"),
             "--iters" => {
                 args.iters = it
                     .next()
@@ -84,7 +107,8 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!(
-                    "unknown argument {other}; supported: --quick --check --label <s> --out <path> --iters <k> --threads <t>"
+                    "unknown argument {other}; supported: --quick --check --serve --label <s> \
+                     --out <path> --serve-out <path> --iters <k> --threads <t>"
                 );
                 std::process::exit(2);
             }
@@ -112,7 +136,19 @@ fn mech_ms(body: &str, label: &str, family: &str) -> Option<f64> {
     None
 }
 
-/// `--check`: asserts the committed perf trajectory (see module docs).
+/// A numeric field from a single-line JSON record.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let rest = line.split(&tag).nth(1)?;
+    rest.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// `--check`: asserts the committed compile trajectory (see module docs).
 /// Exits nonzero with a diagnostic on violation.
 fn check_trajectory(path: &str) {
     let body = std::fs::read_to_string(path)
@@ -134,6 +170,53 @@ fn check_trajectory(path: &str) {
     }
     if failed {
         eprintln!("perf trajectory violated: post-csr must stay >= 10% below post-claim-engine");
+        std::process::exit(1);
+    }
+}
+
+/// `--check`: asserts the committed serve trajectory (see module docs).
+/// Compares the latest full-mode serial (workers == 1) and concurrent
+/// (workers ≥ 2) rungs; the required throughput ratio scales with the
+/// *recorded* core count, so the bar is honest on any recording machine.
+fn check_serve_trajectory(path: &str) {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--check needs the committed {path}: {e}"));
+    let mut serial: Option<f64> = None;
+    let mut concurrent: Option<(f64, f64, f64)> = None; // (cps, workers, cores)
+    for line in body.lines() {
+        if !line.contains("\"mode\": \"full\"") {
+            continue;
+        }
+        let (Some(workers), Some(cps)) = (
+            json_num(line, "workers"),
+            json_num(line, "compiles_per_sec"),
+        ) else {
+            continue;
+        };
+        // Latest record wins: the file is append-only, so later lines
+        // supersede earlier ones.
+        if workers <= 1.0 {
+            serial = Some(cps);
+        } else {
+            concurrent = Some((cps, workers, json_num(line, "cores").unwrap_or(1.0)));
+        }
+    }
+    let serial = serial.unwrap_or_else(|| panic!("{path} lacks a full-mode serial serve record"));
+    let (cps, workers, cores) =
+        concurrent.unwrap_or_else(|| panic!("{path} lacks a full-mode concurrent serve record"));
+    let ratio = cps / serial;
+    // On a multi-core recorder the worker pool must scale; on fewer cores
+    // than two workers, throughput parity (no concurrency overhead) is the
+    // strongest honest bar.
+    let bar = if cores >= 4.0 { 2.0 } else { 0.9 };
+    let ok = ratio >= bar;
+    println!(
+        "check serve: serial {serial:.2} -> {workers:.0}-way {cps:.2} compiles/s \
+         (ratio {ratio:.2}, bar {bar:.1} at {cores:.0} cores) {}",
+        if ok { "ok" } else { "REGRESSED" }
+    );
+    if !ok {
+        eprintln!("serve trajectory violated: concurrent throughput fell below the recorded bar");
         std::process::exit(1);
     }
 }
@@ -169,28 +252,37 @@ fn time_ms<F: FnMut()>(iters: u32, mut f: F) -> f64 {
     best
 }
 
+/// The device spec every perf run compiles against (441 physical qubits
+/// full, 100 quick).
+fn device_spec(quick: bool) -> DeviceSpec {
+    if quick {
+        DeviceSpec::square(5, 2, 2)
+    } else {
+        DeviceSpec::square(7, 3, 3)
+    }
+}
+
 fn main() {
     let args = parse_args();
     if args.check {
         check_trajectory(&args.out);
+        check_serve_trajectory(&args.serve_out);
         return;
     }
-    let spec = if args.quick {
-        ChipletSpec::square(5, 2, 2)
-    } else {
-        ChipletSpec::square(7, 3, 3)
-    };
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, 1);
+    if args.serve {
+        run_serve(&args);
+        return;
+    }
+    let device = device_spec(args.quick).cached();
     let config = CompilerConfig {
         threads: args.threads,
         ..CompilerConfig::default()
     };
-    let n = layout.num_data_qubits();
+    let n = device.num_data_qubits();
 
     println!(
         "perf_report: {} device qubits, {} data qubits, label={:?}, iters={}, threads={}",
-        topo.num_qubits(),
+        device.topology().num_qubits(),
         n,
         args.label,
         args.iters,
@@ -206,7 +298,7 @@ fn main() {
         let program = gen(n);
         let gates = program.len();
 
-        let mech = MechCompiler::new(&topo, &layout, config);
+        let mech = MechCompiler::new(Arc::clone(&device), config);
         // Warmup compile doubles as the counter probe (counters are a pure
         // function of the schedule, not of timing).
         let probe = mech.compile(&program).expect("MECH compiles");
@@ -227,7 +319,7 @@ fn main() {
         let mech_ms = time_ms(args.iters, || {
             mech.compile(&program).expect("MECH compiles");
         });
-        let base = BaselineCompiler::new(&topo, config);
+        let base = BaselineCompiler::new(device.topology(), config);
         // Matching warmup so both compilers are timed warm (the MECH probe
         // above would otherwise bias single-iteration runs).
         base.compile(&program).expect("baseline compiles");
@@ -268,6 +360,143 @@ fn main() {
     let record = render_record(&args, &cells);
     append_record(&args.out, &record);
     println!("recorded run {:?} in {}", args.label, args.out);
+}
+
+/// The mixed request stream of the serve benchmark: the paper's three
+/// structured families plus the aggregation-bound random family.
+const SERVE_FAMILIES: [(&str, programs::FamilyGen); 4] = [
+    ("qft", programs::qft),
+    ("vqe", programs::vqe),
+    ("qaoa", programs::qaoa),
+    ("rand-dense", programs::rand_dense),
+];
+
+/// `--serve`: drives the [`CompileService`] ladder and records one
+/// `BENCH_serve.json` rung per pool size (see module docs).
+fn run_serve(args: &Args) {
+    let device = device_spec(args.quick).cached();
+    let n = device.num_data_qubits();
+    // Workers compile with threads=1: under concurrent load the pool *is*
+    // the parallelism (it subsumes the per-compile planner threads).
+    let config = CompilerConfig {
+        threads: 1,
+        ..CompilerConfig::default()
+    };
+    let rounds: usize = if args.quick { 2 } else { 4 };
+    let requests = rounds * SERVE_FAMILIES.len();
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let circuits: Vec<Arc<Circuit>> = SERVE_FAMILIES
+        .iter()
+        .map(|(_, gen)| Arc::new(gen(n)))
+        .collect();
+    // Serial reference schedules: every served compile must match these
+    // bit-for-bit, or the shared-artifact tier leaked request state.
+    let reference: Vec<CompileResult> = circuits
+        .iter()
+        .map(|p| {
+            MechCompiler::new(Arc::clone(&device), config)
+                .compile(p)
+                .expect("reference compiles")
+        })
+        .collect();
+
+    println!(
+        "perf_report --serve: {} device qubits, {} data qubits, {} requests \
+         ({} rounds x {} families), {} cores, label={:?}",
+        device.topology().num_qubits(),
+        n,
+        requests,
+        rounds,
+        SERVE_FAMILIES.len(),
+        cores,
+        args.label
+    );
+    println!(
+        "{:<8} {:>9} {:>16} {:>10} {:>10} {:>10}",
+        "workers", "wall ms", "compiles/s", "p50 ms", "p99 ms", "identical"
+    );
+
+    for workers in [1usize, 4] {
+        let service = CompileService::start(
+            Arc::clone(&device),
+            config,
+            ServeOptions {
+                workers,
+                queue_capacity: 8,
+                threads_per_worker: 1,
+            },
+        );
+        let wall = Instant::now();
+        let tickets: Vec<(usize, mech_bench::serve::Ticket)> = (0..requests)
+            .map(|i| {
+                let which = i % circuits.len();
+                (which, service.submit(Arc::clone(&circuits[which])))
+            })
+            .collect();
+        let outcomes: Vec<(usize, ServeOutcome)> = tickets
+            .into_iter()
+            .map(|(which, t)| (which, t.wait()))
+            .collect();
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        service.shutdown();
+
+        let mut latencies: Vec<f64> = Vec::with_capacity(outcomes.len());
+        for (which, outcome) in &outcomes {
+            let got = outcome.result.as_ref().expect("served compile succeeds");
+            assert_eq!(
+                got.circuit.ops(),
+                reference[*which].circuit.ops(),
+                "served schedule diverged from serial reference ({}, workers={workers})",
+                SERVE_FAMILIES[*which].0
+            );
+            latencies.push(outcome.total_ms);
+        }
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let p50 = percentile(&latencies, 50.0);
+        let p99 = percentile(&latencies, 99.0);
+        let cps = requests as f64 / (wall_ms / 1e3);
+        println!(
+            "{workers:<8} {wall_ms:>9.1} {cps:>16.2} {p50:>10.1} {p99:>10.1} {:>10}",
+            "yes"
+        );
+
+        let record = render_serve_record(args, workers, cores, requests, n, wall_ms, cps, p50, p99);
+        append_record(&args.serve_out, &record);
+    }
+    println!("recorded serve run {:?} in {}", args.label, args.serve_out);
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Renders one serve rung as a single-line JSON object (single-line so the
+/// `--check` scanner stays line-oriented).
+#[allow(clippy::too_many_arguments)]
+fn render_serve_record(
+    args: &Args,
+    workers: usize,
+    cores: usize,
+    requests: usize,
+    qubits: u32,
+    wall_ms: f64,
+    cps: f64,
+    p50: f64,
+    p99: f64,
+) -> String {
+    format!(
+        "  {{\"label\": \"{}\", \"mode\": \"{}\", \"workers\": {workers}, \"cores\": {cores}, \
+         \"requests\": {requests}, \"qubits\": {qubits}, \"wall_ms\": {wall_ms:.1}, \
+         \"compiles_per_sec\": {cps:.2}, \"p50_ms\": {p50:.1}, \"p99_ms\": {p99:.1}}}",
+        json_escape(&args.label),
+        if args.quick { "quick" } else { "full" },
+    )
 }
 
 /// Renders one run record as a JSON object (hand-rolled: the workspace has
@@ -338,5 +567,5 @@ fn append_record(path: &str, record: &str) {
         }
         Err(_) => format!("[\n{record}\n]\n"),
     };
-    std::fs::write(path, body).expect("write BENCH_compile.json");
+    std::fs::write(path, body).expect("write benchmark record file");
 }

@@ -3,9 +3,8 @@
 //!
 //! Usage: `cargo run --release -p mech-bench --bin table2 [-- --quick --csv]`
 
-use mech::CompilerConfig;
+use mech::{CompilerConfig, DeviceSpec};
 use mech_bench::{print_header, print_row, run_cell, HarnessArgs};
-use mech_chiplet::ChipletSpec;
 use mech_circuit::benchmarks::Benchmark;
 
 fn main() {
@@ -15,9 +14,9 @@ fn main() {
 
     print_header(args.csv);
     for &d in sizes {
-        let spec = ChipletSpec::square(d, 3, 3);
+        let spec = DeviceSpec::square(d, 3, 3);
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, 1, bench, 2024, config);
+            let o = run_cell(spec, bench, 2024, config);
             print_row(&o, args.csv);
         }
     }

@@ -9,9 +9,10 @@
 use std::time::Instant;
 
 use mech::mech_highway::ShuttleStats;
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
 use mech_circuit::benchmarks::Benchmark;
+
+pub mod serve;
 
 pub mod programs {
     //! The canonical seeded benchmark programs.
@@ -116,34 +117,33 @@ impl RunOutcome {
     }
 }
 
-/// Builds the device described by `spec` with a density-`density` highway,
+/// Fetches the device named by `spec` from the global artifact cache,
 /// generates `bench` at the data-region width, and compiles it with both
-/// pipelines.
+/// pipelines. Cells sharing a device spec (across benchmarks, seeds and
+/// configs) share one artifact bundle.
 ///
 /// # Panics
 ///
 /// Panics if compilation fails (layout bugs — the harness treats them as
 /// fatal).
 pub fn run_cell(
-    spec: ChipletSpec,
-    density: u32,
+    spec: DeviceSpec,
     bench: Benchmark,
     seed: u64,
     config: CompilerConfig,
 ) -> RunOutcome {
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, density);
-    let n = layout.num_data_qubits();
+    let device = spec.cached();
+    let n = device.num_data_qubits();
     let program = bench.generate(n, seed);
 
     let t = Instant::now();
-    let mech = MechCompiler::new(&topo, &layout, config)
+    let mech = MechCompiler::new(device.clone(), config)
         .compile(&program)
         .expect("MECH compilation");
     let mech_secs = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
-    let baseline = BaselineCompiler::new(&topo, config)
+    let baseline = BaselineCompiler::new(device.topology(), config)
         .compile(&program)
         .expect("baseline compilation");
     let baseline_secs = t.elapsed().as_secs_f64();
@@ -151,7 +151,7 @@ pub fn run_cell(
     RunOutcome {
         bench,
         data_qubits: n,
-        total_qubits: topo.num_qubits(),
+        total_qubits: device.topology().num_qubits(),
         baseline: Metrics::from_circuit(&baseline),
         mech: mech.metrics(),
         shuttle: mech.shuttle_stats,
@@ -246,8 +246,8 @@ mod tests {
 
     #[test]
     fn run_cell_produces_consistent_outcome() {
-        let spec = ChipletSpec::square(5, 1, 2);
-        let o = run_cell(spec, 1, Benchmark::Bv, 1, CompilerConfig::default());
+        let spec = DeviceSpec::square(5, 1, 2);
+        let o = run_cell(spec, Benchmark::Bv, 1, CompilerConfig::default());
         assert!(o.data_qubits > 0);
         assert!(o.mech.depth > 0 && o.baseline.depth > 0);
         assert!(o.highway_pct > 0.0);

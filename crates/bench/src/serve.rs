@@ -1,0 +1,331 @@
+//! Compilation-as-a-service: a multi-tenant front end over the compiler.
+//!
+//! [`CompileService`] owns a worker pool sharing one `Arc`-shared
+//! [`DeviceArtifacts`](mech::DeviceArtifacts) bundle and a **bounded**
+//! request queue: submitters block while the queue is full, so a burst of
+//! tenants applies back-pressure instead of growing memory without bound.
+//! Each worker runs an independent
+//! [`CompileSession`](mech::CompileSession) per request against the shared
+//! device tier — compilation is deterministic, so a served schedule is
+//! bit-identical to a direct [`MechCompiler::compile`] call.
+//!
+//! Workers compile with `threads = threads_per_worker` (default 1): under
+//! concurrent load the pool itself is the parallelism, subsuming the
+//! per-compile planner threads — the same OS threads do the planning work
+//! for every request.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use mech::{CompileError, CompileResult, CompilerConfig, DeviceArtifacts, MechCompiler};
+use mech_circuit::Circuit;
+
+/// Tuning of a [`CompileService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads compiling requests.
+    pub workers: usize,
+    /// Queue slots; submitters block while the queue is full.
+    pub queue_capacity: usize,
+    /// `CompilerConfig::threads` for each worker's compiles.
+    pub threads_per_worker: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_capacity: 16,
+            threads_per_worker: 1,
+        }
+    }
+}
+
+/// What one served request experienced, end to end.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The compilation result (compile errors are returned, not panicked:
+    /// tenants share the pool, one bad request must not take it down).
+    pub result: Result<CompileResult, CompileError>,
+    /// Milliseconds spent queued before a worker picked the request up.
+    pub queued_ms: f64,
+    /// Milliseconds spent compiling.
+    pub compile_ms: f64,
+    /// Milliseconds from submit to completion (queue + compile).
+    pub total_ms: f64,
+    /// Index of the worker that served the request.
+    pub worker: usize,
+}
+
+/// Handle to one submitted request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<ServeOutcome>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serving worker died (a compiler panic — compile
+    /// *errors* come back inside [`ServeOutcome`]).
+    pub fn wait(self) -> ServeOutcome {
+        self.rx.recv().expect("serve worker dropped the request")
+    }
+}
+
+struct Job {
+    circuit: Arc<Circuit>,
+    submitted: Instant,
+    reply: mpsc::Sender<ServeOutcome>,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals workers: a job arrived (or the queue closed).
+    not_empty: Condvar,
+    /// Signals submitters: a slot freed up.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A bounded-queue worker pool compiling circuits against one shared
+/// device-artifact bundle.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mech::{CompilerConfig, DeviceSpec};
+/// use mech_bench::serve::{CompileService, ServeOptions};
+/// use mech_circuit::benchmarks::Benchmark;
+///
+/// let device = DeviceSpec::square(5, 1, 2).cached();
+/// let program = Arc::new(Benchmark::Bv.generate(device.num_data_qubits(), 1));
+/// let service = CompileService::start(
+///     device,
+///     CompilerConfig::default(),
+///     ServeOptions { workers: 2, ..ServeOptions::default() },
+/// );
+/// let tickets: Vec<_> = (0..4).map(|_| service.submit(Arc::clone(&program))).collect();
+/// for t in tickets {
+///     assert!(t.wait().result.is_ok());
+/// }
+/// service.shutdown();
+/// ```
+pub struct CompileService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CompileService {
+    /// Spawns the worker pool. Each worker holds a clone of one
+    /// [`MechCompiler`] handle over the shared `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `queue_capacity` is zero, or if thread
+    /// spawning fails.
+    pub fn start(
+        device: Arc<DeviceArtifacts>,
+        config: CompilerConfig,
+        options: ServeOptions,
+    ) -> Self {
+        assert!(options.workers >= 1, "a service needs at least one worker");
+        assert!(options.queue_capacity >= 1, "queue capacity must be >= 1");
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::with_capacity(options.queue_capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: options.queue_capacity,
+        });
+        let config = CompilerConfig {
+            threads: options.threads_per_worker.max(1),
+            ..config
+        };
+        let workers = (0..options.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let compiler = MechCompiler::new(Arc::clone(&device), config);
+                std::thread::Builder::new()
+                    .name(format!("mech-serve-{w}"))
+                    .spawn(move || worker_loop(w, &shared, &compiler))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        CompileService { shared, workers }
+    }
+
+    /// Enqueues one request, blocking while the queue is full
+    /// (back-pressure). Returns a [`Ticket`] to wait on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`CompileService::shutdown`] began (no such
+    /// path exists through the public API — shutdown consumes the
+    /// service).
+    pub fn submit(&self, circuit: Arc<Circuit>) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().expect("serve queue poisoned");
+        while q.jobs.len() >= self.shared.capacity && !q.closed {
+            q = self.shared.not_full.wait(q).expect("serve queue poisoned");
+        }
+        assert!(!q.closed, "submit on a shut-down service");
+        q.jobs.push_back(Job {
+            circuit,
+            submitted: Instant::now(),
+            reply,
+        });
+        drop(q);
+        self.shared.not_empty.notify_one();
+        Ticket { rx }
+    }
+
+    /// Closes the queue and joins the workers. Requests already queued are
+    /// drained and served before their worker exits.
+    pub fn shutdown(mut self) {
+        self.close_and_join();
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("serve queue poisoned");
+            q.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("serve worker panicked");
+        }
+    }
+}
+
+impl Drop for CompileService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(index: usize, shared: &Shared, compiler: &MechCompiler) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("serve queue poisoned");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.not_empty.wait(q).expect("serve queue poisoned");
+            }
+        };
+        shared.not_full.notify_one();
+        let queued_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+        let started = Instant::now();
+        let result = compiler.compile(&job.circuit);
+        let compile_ms = started.elapsed().as_secs_f64() * 1e3;
+        // A dropped Ticket (submitter gave up) is fine; the work is done.
+        let _ = job.reply.send(ServeOutcome {
+            result,
+            queued_ms,
+            compile_ms,
+            total_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+            worker: index,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use mech::DeviceSpec;
+
+    #[test]
+    fn served_compiles_match_direct_compiles() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let config = CompilerConfig {
+            threads: 1,
+            ..CompilerConfig::default()
+        };
+        let n = device.num_data_qubits();
+        let programs: Vec<Arc<Circuit>> = [
+            programs::qft(n.min(16)),
+            programs::vqe(n.min(16)),
+            programs::bv(n),
+            programs::rand_sparse(n),
+        ]
+        .into_iter()
+        .map(Arc::new)
+        .collect();
+        let direct: Vec<CompileResult> = programs
+            .iter()
+            .map(|p| {
+                MechCompiler::new(Arc::clone(&device), config)
+                    .compile(p)
+                    .unwrap()
+            })
+            .collect();
+
+        let service = CompileService::start(
+            Arc::clone(&device),
+            config,
+            ServeOptions {
+                workers: 3,
+                queue_capacity: 2, // force submit-side back-pressure
+                threads_per_worker: 1,
+            },
+        );
+        // Two rounds of every program, interleaved, through 3 workers.
+        let tickets: Vec<(usize, Ticket)> = (0..programs.len() * 2)
+            .map(|i| {
+                let which = i % programs.len();
+                (which, service.submit(Arc::clone(&programs[which])))
+            })
+            .collect();
+        for (which, ticket) in tickets {
+            let outcome = ticket.wait();
+            let got = outcome.result.expect("served compile succeeds");
+            let want = &direct[which];
+            assert_eq!(got.circuit.ops(), want.circuit.ops(), "program {which}");
+            assert_eq!(got.shuttle_trace, want.shuttle_trace);
+            assert!(outcome.compile_ms > 0.0);
+            assert!(outcome.total_ms >= outcome.compile_ms);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn errors_come_back_as_outcomes() {
+        let device = DeviceSpec::square(4, 1, 1).build_artifacts();
+        let wide = Arc::new(Circuit::new(500));
+        let service =
+            CompileService::start(device, CompilerConfig::default(), ServeOptions::default());
+        let outcome = service.submit(wide).wait();
+        assert!(matches!(
+            outcome.result,
+            Err(CompileError::TooManyQubits { .. })
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_cleanly() {
+        let device = DeviceSpec::square(4, 1, 1).build_artifacts();
+        let service =
+            CompileService::start(device, CompilerConfig::default(), ServeOptions::default());
+        drop(service);
+    }
+}

@@ -1,6 +1,16 @@
 //! The MECH compilation pipeline.
 //!
-//! The compiler walks the program's commutation DAG front-to-back. Each
+//! The pipeline is split into two layers (DESIGN.md §11):
+//!
+//! * [`DeviceArtifacts`](crate::DeviceArtifacts) — everything derived from
+//!   the device alone (topology + hop table, highway layout, entrance
+//!   table, CSR claim skeleton), immutable and `Arc`-shared across any
+//!   number of concurrent compilations;
+//! * [`CompileSession`] — the cheap per-request state (mapping, scratch
+//!   pools, occupancy, fronts), created per [`MechCompiler::compile`] call
+//!   with **no device-derived rebuilds**.
+//!
+//! A session walks the program's commutation DAG front-to-back. Each
 //! *round* runs three explicitly separated phases:
 //!
 //! 1. [free phase] all ready one-qubit gates and measurements (free/cheap);
@@ -25,19 +35,21 @@
 //! logical effect is final only after the closing corrections).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
-use mech_chiplet::{ChipletId, HighwayLayout, PhysCircuit, QubitSet, StampSet, Topology};
+use mech_chiplet::{ChipletId, PhysCircuit, QubitSet, StampSet};
 use mech_circuit::{
     AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId, GroupKind,
     MultiTargetGate, Qubit,
 };
 use mech_highway::{
-    prepare_ghz_chain, prepare_ghz_with, ActiveGroup, EntranceOption, EntranceTable, GhzScratch,
-    PinnedView, ShuttleState, ShuttleStats,
+    prepare_ghz_chain, prepare_ghz_with, ActiveGroup, EntranceOption, GhzScratch, PinnedView,
+    ShuttleState, ShuttleStats,
 };
 use mech_router::{LocalRouter, Mapping, RoutePlan};
 
 use crate::config::CompilerConfig;
+use crate::device::DeviceArtifacts;
 use crate::error::CompileError;
 use crate::metrics::Metrics;
 
@@ -78,48 +90,91 @@ impl CompileResult {
     }
 }
 
-/// The MECH compiler: maps a logical circuit onto a chiplet array with a
+/// The MECH compiler: maps logical circuits onto a chiplet array with a
 /// communication highway.
+///
+/// A compiler is a handle over `Arc`-shared [`DeviceArtifacts`] plus a
+/// [`CompilerConfig`]; it is `Send + Sync` and cheap to clone, and every
+/// [`MechCompiler::compile`] call runs an independent [`CompileSession`],
+/// so one compiler (or many, sharing one artifact bundle) can serve
+/// concurrent requests.
 ///
 /// # Example
 ///
 /// ```
-/// use mech::{CompilerConfig, MechCompiler};
-/// use mech_chiplet::{ChipletSpec, HighwayLayout};
+/// use mech::{CompilerConfig, DeviceSpec, MechCompiler};
 /// use mech_circuit::benchmarks::bernstein_vazirani;
 ///
 /// # fn main() -> Result<(), mech::CompileError> {
-/// let topo = ChipletSpec::square(6, 2, 2).build();
-/// let layout = HighwayLayout::generate(&topo, 1);
-/// let compiler = MechCompiler::new(&topo, &layout, CompilerConfig::default());
-/// let program = bernstein_vazirani(layout.num_data_qubits().min(40), 7);
+/// // A 2×2 array of 6×6 square chiplets, from the global device cache.
+/// let device = DeviceSpec::square(6, 2, 2).cached();
+/// let compiler = MechCompiler::new(device.clone(), CompilerConfig::default());
+/// let program = bernstein_vazirani(device.num_data_qubits().min(40), 7);
 /// let result = compiler.compile(&program)?;
 /// assert!(result.shuttle_stats.shuttles >= 1);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy)]
-pub struct MechCompiler<'a> {
-    topo: &'a Topology,
-    layout: &'a HighwayLayout,
+#[derive(Debug, Clone)]
+pub struct MechCompiler {
+    device: Arc<DeviceArtifacts>,
     config: CompilerConfig,
 }
 
-/// Mutable compilation state threaded through the rounds.
+impl MechCompiler {
+    /// Creates a compiler over a shared device-artifact bundle.
+    pub fn new(device: Arc<DeviceArtifacts>, config: CompilerConfig) -> Self {
+        MechCompiler { device, config }
+    }
+
+    /// The shared device artifacts this compiler compiles against.
+    pub fn device(&self) -> &Arc<DeviceArtifacts> {
+        &self.device
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Compiles `circuit`, returning the scheduled physical circuit and
+    /// highway statistics. Each call builds the circuit's commutation DAG
+    /// and runs one [`CompileSession`]; nothing device-derived is rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::TooManyQubits`] if the program is wider than the
+    /// data region; [`CompileError::Routing`] if the data region is
+    /// disconnected (a layout bug).
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompileResult, CompileError> {
+        let dag = CommutationDag::new(circuit);
+        CompileSession::new(&self.device, self.config, circuit, &dag)?.run()
+    }
+}
+
+/// One compilation request: every piece of mutable state the pipeline
+/// touches, borrowing the immutable device tier.
 ///
-/// Besides the live pipeline objects, the session owns the per-round
-/// scratch buffers; every round clears and refills them, so the steady
-/// state of a round allocates nothing.
-struct Session<'a> {
+/// Sessions are created per [`MechCompiler::compile`] call and consumed by
+/// [`CompileSession::run`]. Construction is cheap — scratch buffers,
+/// mapping and occupancy are sized from the device, but nothing
+/// device-derived (entrance tables, CSR graphs, hop tables) is rebuilt —
+/// so any number of sessions can run concurrently against one
+/// [`DeviceArtifacts`] bundle and produce schedules bit-identical to
+/// serial runs.
+///
+/// The commutation DAG is passed in explicitly: it is per-*circuit* (not
+/// per-request) state, so a front end compiling one program repeatedly
+/// may build it once and fan sessions out from it.
+pub struct CompileSession<'a> {
+    device: &'a DeviceArtifacts,
+    config: CompilerConfig,
     circuit: &'a Circuit,
     pc: PhysCircuit,
     mapping: Mapping,
     sched: DagSchedule<'a>,
     shuttle: ShuttleState,
     router: LocalRouter<'a>,
-    /// Entrance options per data qubit, built once per compilation (the
-    /// data/highway geometry is static, so they never change).
-    entrances: EntranceTable,
     /// Components executed in the open shuttle, retired at close.
     pending_close: Vec<GateId>,
     /// `pending[id] = true` iff the gate is in `pending_close` (flat mask:
@@ -207,31 +262,25 @@ impl PlannerSlot<'_> {
 /// spawn; below this the spawn overhead outweighs the searches saved.
 const PLAN_MIN_GATES: usize = 16;
 
-impl<'a> MechCompiler<'a> {
-    /// Creates a compiler over the given hardware and highway layout.
-    pub fn new(topo: &'a Topology, layout: &'a HighwayLayout, config: CompilerConfig) -> Self {
-        MechCompiler {
-            topo,
-            layout,
-            config,
-        }
-    }
-
-    /// The configuration in effect.
-    pub fn config(&self) -> &CompilerConfig {
-        &self.config
-    }
-
-    /// Compiles `circuit`, returning the scheduled physical circuit and
-    /// highway statistics.
+impl<'a> CompileSession<'a> {
+    /// Creates the per-request state for compiling `circuit` against
+    /// `device`: trivial mapping, empty shuttle (occupancy pre-seeded from
+    /// the device's shared claim skeleton), scratch pools, and planner
+    /// workers when `config.threads > 1`.
     ///
     /// # Errors
     ///
     /// [`CompileError::TooManyQubits`] if the program is wider than the
-    /// data region; [`CompileError::Routing`] if the data region is
-    /// disconnected (a layout bug).
-    pub fn compile(&self, circuit: &Circuit) -> Result<CompileResult, CompileError> {
-        let data = self.layout.data_qubits();
+    /// device's data region.
+    pub fn new(
+        device: &'a DeviceArtifacts,
+        config: CompilerConfig,
+        circuit: &'a Circuit,
+        dag: &'a CommutationDag,
+    ) -> Result<Self, CompileError> {
+        let topo = device.topology();
+        let layout = device.layout();
+        let data = layout.data_qubits();
         if circuit.num_qubits() as usize > data.len() {
             return Err(CompileError::TooManyQubits {
                 requested: circuit.num_qubits(),
@@ -239,19 +288,18 @@ impl<'a> MechCompiler<'a> {
             });
         }
 
-        let dag = CommutationDag::new(circuit);
         let mapping = Mapping::trivial(circuit.num_qubits(), &data);
         let mut sched = dag.schedule();
         sched.attach_aggregation(circuit);
         // One planner worker per thread beyond the serial baseline; they
         // live for the whole session so per-round planning reuses their
         // routers, mappings and ghost circuits without allocating.
-        let planners: Vec<PlannerSlot<'_>> = if self.config.threads > 1 {
-            (0..self.config.threads)
+        let planners: Vec<PlannerSlot<'a>> = if config.threads > 1 {
+            (0..config.threads)
                 .map(|_| PlannerSlot {
-                    router: LocalRouter::new(self.topo, self.layout),
+                    router: LocalRouter::new(topo, layout),
                     mapping: mapping.clone(),
-                    ghost: PhysCircuit::new(self.topo.num_qubits(), self.config.cost),
+                    ghost: PhysCircuit::new(topo.num_qubits(), config.cost),
                     work: Vec::new(),
                     out: Vec::new(),
                     pool: Vec::new(),
@@ -260,18 +308,15 @@ impl<'a> MechCompiler<'a> {
         } else {
             Vec::new()
         };
-        let mut s = Session {
+        Ok(CompileSession {
+            device,
+            config,
             circuit,
-            pc: PhysCircuit::new(self.topo.num_qubits(), self.config.cost),
+            pc: PhysCircuit::new(topo.num_qubits(), config.cost),
             mapping,
             sched,
-            shuttle: ShuttleState::new(self.topo),
-            router: LocalRouter::new(self.topo, self.layout),
-            entrances: EntranceTable::build(
-                self.topo,
-                self.layout,
-                self.config.entrance_candidates,
-            ),
+            shuttle: ShuttleState::with_skeleton(topo, Arc::clone(device.skeleton())),
+            router: LocalRouter::new(topo, layout),
             pending_close: Vec::new(),
             pending: vec![false; circuit.len()],
             regular_gates: 0,
@@ -285,61 +330,70 @@ impl<'a> MechCompiler<'a> {
             planners,
             plans: Vec::new(),
             plan_pool: Vec::new(),
-            chiplet_slot: vec![None; self.topo.num_chiplets() as usize],
+            chiplet_slot: vec![None; topo.num_chiplets() as usize],
             planned_routes: 0,
-        };
+        })
+    }
 
-        while !s.sched.is_finished() {
-            let progressed = self.round_pass(&mut s)?;
+    /// Runs the session to completion, consuming it.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Routing`] if the data region is disconnected (a
+    /// layout bug).
+    pub fn run(mut self) -> Result<CompileResult, CompileError> {
+        let device = self.device;
+        while !self.sched.is_finished() {
+            let progressed = self.round_pass()?;
             if progressed {
                 continue;
             }
-            if s.shuttle.is_open() {
-                s.shuttle.close(&mut s.pc, self.topo);
-                for id in s.pending_close.drain(..) {
-                    s.pending[id.index()] = false;
-                    s.sched.complete(id);
+            if self.shuttle.is_open() {
+                self.shuttle.close(&mut self.pc, device.topology());
+                for id in self.pending_close.drain(..) {
+                    self.pending[id.index()] = false;
+                    self.sched.complete(id);
                 }
             } else {
-                self.force_one_gate(&mut s)?;
+                self.force_one_gate()?;
             }
         }
 
         Ok(CompileResult {
-            circuit: s.pc,
-            shuttle_stats: s.shuttle.stats(),
-            shuttle_trace: s.shuttle.trace().to_vec(),
-            regular_gates: s.regular_gates,
-            planned_routes: s.planned_routes,
-            claim_searches: s.shuttle.occupancy.claim_searches(),
-            claim_skips: s.shuttle.occupancy.claim_skips(),
-            highway_percentage: self.layout.percentage(),
+            circuit: self.pc,
+            shuttle_stats: self.shuttle.stats(),
+            shuttle_trace: self.shuttle.trace().to_vec(),
+            regular_gates: self.regular_gates,
+            planned_routes: self.planned_routes,
+            claim_searches: self.shuttle.occupancy.claim_searches(),
+            claim_skips: self.shuttle.occupancy.claim_skips(),
+            highway_percentage: device.layout().percentage(),
         })
     }
 
     /// Executes everything executable right now; returns whether any gate
     /// was completed or any highway component executed.
-    fn round_pass(&self, s: &mut Session<'_>) -> Result<bool, CompileError> {
-        let mut progressed = self.phase_free_gates(s);
-        progressed |= self.phase_highway(s);
-        progressed |= self.phase_regular(s)?;
+    fn round_pass(&mut self) -> Result<bool, CompileError> {
+        let mut progressed = self.phase_free_gates();
+        progressed |= self.phase_highway();
+        progressed |= self.phase_regular()?;
         Ok(progressed)
     }
 
     /// Free phase: one-qubit gates and measurements, drained straight off
     /// the partitioned front. Gates pending a shuttle close are all
     /// two-qubit, so no filtering is needed here.
-    fn phase_free_gates(&self, s: &mut Session<'_>) -> bool {
+    fn phase_free_gates(&mut self) -> bool {
         let mut progressed = false;
-        while let Some(id) = s.sched.pop_ready_one_qubit() {
-            match s.circuit.gates()[id.index()] {
+        while let Some(id) = self.sched.pop_ready_one_qubit() {
+            match self.circuit.gates()[id.index()] {
                 Gate::One { q, .. } => {
-                    let p = s.mapping.phys(q);
-                    s.pc.one_qubit(p);
+                    let p = self.mapping.phys(q);
+                    self.pc.one_qubit(p);
                 }
                 Gate::Measure { q } => {
-                    let p = s.mapping.phys(q);
-                    s.pc.measure(p);
+                    let p = self.mapping.phys(q);
+                    self.pc.measure(p);
                 }
                 Gate::Two { .. } => unreachable!("two-qubit gates stay on the two-qubit front"),
             }
@@ -350,44 +404,44 @@ impl<'a> MechCompiler<'a> {
 
     /// Highway phase: carve the incrementally maintained aggregation front
     /// into multi-target gates and execute the large ones over the highway.
-    /// Leaves the round's regular gates in `s.regular`.
-    fn phase_highway(&self, s: &mut Session<'_>) -> bool {
+    /// Leaves the round's regular gates in `self.regular`.
+    fn phase_highway(&mut self) -> bool {
         let mut progressed = false;
-        s.sched
+        self.sched
             .aggregation_front_mut()
             .expect("session attaches an aggregation front")
             .carve(
                 AggregateOptions {
                     min_components: self.config.min_components,
                 },
-                &mut s.groups,
-                &mut s.regular,
+                &mut self.groups,
+                &mut self.regular,
             );
         // Stop attempting groups after a few consecutive congestion
         // failures: with the largest groups first, further ones would
         // mostly fail too, and they retry next shuttle anyway.
-        let groups = std::mem::take(&mut s.groups);
+        let groups = std::mem::take(&mut self.groups);
         let mut consecutive_failures = 0u32;
         for group in &groups {
             if consecutive_failures >= 3 {
                 break;
             }
-            let executed = self.try_group(s, group);
+            let executed = self.try_group(group);
             if executed.is_empty() {
                 consecutive_failures += 1;
             } else {
                 consecutive_failures = 0;
                 progressed = true;
                 for id in executed {
-                    s.pending[id.index()] = true;
-                    s.pending_close.push(id);
+                    self.pending[id.index()] = true;
+                    self.pending_close.push(id);
                     // In flight on the highway: out of the aggregation
                     // front until the close retires it.
-                    s.sched.suspend_from_aggregation(id);
+                    self.sched.suspend_from_aggregation(id);
                 }
             }
         }
-        s.groups = groups;
+        self.groups = groups;
         progressed
     }
 
@@ -399,59 +453,61 @@ impl<'a> MechCompiler<'a> {
     /// groups and highway qubits holding live GHZ states — is a zero-cost
     /// view over incrementally maintained shuttle state, constant for the
     /// whole phase.
-    fn phase_regular(&self, s: &mut Session<'_>) -> Result<bool, CompileError> {
+    fn phase_regular(&mut self) -> Result<bool, CompileError> {
         let mut progressed = false;
-        self.plan_regular(s);
+        self.plan_regular();
 
-        let pinned = s.shuttle.pinned_view();
-        for i in 0..s.regular.len() {
-            let id = s.regular[i];
-            let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
+        let pinned = self.shuttle.pinned_view();
+        for i in 0..self.regular.len() {
+            let id = self.regular[i];
+            let Gate::Two { a, b, .. } = self.circuit.gates()[id.index()] else {
                 continue;
             };
             // Never displace a pinned hub; its gates wait for the close.
-            if pinned.contains_qubit(s.mapping.phys(a)) || pinned.contains_qubit(s.mapping.phys(b))
+            if pinned.contains_qubit(self.mapping.phys(a))
+                || pinned.contains_qubit(self.mapping.phys(b))
             {
                 continue;
             }
-            let result = match s.plans.get_mut(i).and_then(Option::take) {
+            let result = match self.plans.get_mut(i).and_then(Option::take) {
                 Some(plan) => {
-                    let r = s.router.execute_two_qubit_planned(
-                        &mut s.pc,
-                        &mut s.mapping,
+                    let r = self.router.execute_two_qubit_planned(
+                        &mut self.pc,
+                        &mut self.mapping,
                         a,
                         b,
                         &pinned,
                         &plan,
                     );
-                    s.plan_pool.push(plan);
+                    self.plan_pool.push(plan);
                     r
                 }
-                None => s
-                    .router
-                    .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &pinned),
+                None => {
+                    self.router
+                        .execute_two_qubit(&mut self.pc, &mut self.mapping, a, b, &pinned)
+                }
             };
             match result {
                 Ok(()) => {
-                    s.sched.complete(id);
-                    s.regular_gates += 1;
+                    self.sched.complete(id);
+                    self.regular_gates += 1;
                     progressed = true;
                 }
-                Err(_) if s.shuttle.is_open() => {
+                Err(_) if self.shuttle.is_open() => {
                     // Blocked by live highway claims; retry after close.
                 }
                 Err(e) => return Err(e.into()),
             }
         }
         // Plans for gates the commit skipped (pinned operands) recycle too.
-        for plan in s.plans.iter_mut().filter_map(Option::take) {
-            s.plan_pool.push(plan);
+        for plan in self.plans.iter_mut().filter_map(Option::take) {
+            self.plan_pool.push(plan);
         }
         Ok(progressed)
     }
 
-    /// Shard/plan step of the regular phase. Partitions `s.regular` by the
-    /// chiplet of the operands' current positions; rounds with enough
+    /// Shard/plan step of the regular phase. Partitions `self.regular` by
+    /// the chiplet of the operands' current positions; rounds with enough
     /// same-chiplet gates across ≥ 2 chiplets fan the pathfinding out over
     /// scoped worker threads (chiplets assigned round-robin, results merged
     /// in fixed worker order). Cross-chiplet gates are left unplanned — the
@@ -460,13 +516,14 @@ impl<'a> MechCompiler<'a> {
     /// Planning never changes compiled output: a plan only replays while
     /// its recorded endpoints match the live mapping, and pathfinding is a
     /// pure function of those endpoints and the phase-constant pinned set.
-    fn plan_regular(&self, s: &mut Session<'_>) {
-        s.plans.clear();
-        if self.config.threads < 2 || s.regular.len() < PLAN_MIN_GATES {
+    fn plan_regular(&mut self) {
+        self.plans.clear();
+        if self.config.threads < 2 || self.regular.len() < PLAN_MIN_GATES {
             return;
         }
 
-        let Session {
+        let device = self.device;
+        let CompileSession {
             planners,
             regular,
             mapping,
@@ -477,7 +534,8 @@ impl<'a> MechCompiler<'a> {
             chiplet_slot,
             planned_routes,
             ..
-        } = s;
+        } = self;
+        let topo = device.topology();
         for slot in planners.iter_mut() {
             slot.work.clear();
         }
@@ -493,10 +551,7 @@ impl<'a> MechCompiler<'a> {
             let Gate::Two { a, b, .. } = circuit.gates()[id.index()] else {
                 continue;
             };
-            let (ca, cb) = (
-                self.topo.chiplet(mapping.phys(a)),
-                self.topo.chiplet(mapping.phys(b)),
-            );
+            let (ca, cb) = (topo.chiplet(mapping.phys(a)), topo.chiplet(mapping.phys(b)));
             if ca != cb {
                 continue;
             }
@@ -549,58 +604,65 @@ impl<'a> MechCompiler<'a> {
 
     /// Guaranteed-progress fallback: executes the first ready two-qubit
     /// gate as a regular gate with the shuttle closed.
-    fn force_one_gate(&self, s: &mut Session<'_>) -> Result<(), CompileError> {
-        debug_assert!(!s.shuttle.is_open());
+    fn force_one_gate(&mut self) -> Result<(), CompileError> {
+        debug_assert!(!self.shuttle.is_open());
         debug_assert!(
-            s.sched.ready_one_qubit().next().is_none(),
+            self.sched.ready_one_qubit().next().is_none(),
             "phase A drains the one-qubit front"
         );
-        let id = s
+        let id = self
             .sched
             .ready_two_qubit()
-            .find(|id| !s.pending[id.index()])
+            .find(|id| !self.pending[id.index()])
             .expect("unfinished schedule has a ready gate");
-        let Gate::Two { a, b, .. } = s.circuit.gates()[id.index()] else {
+        let Gate::Two { a, b, .. } = self.circuit.gates()[id.index()] else {
             unreachable!("the two-qubit front only holds two-qubit gates");
         };
-        s.router
-            .execute_two_qubit(&mut s.pc, &mut s.mapping, a, b, &HashSet::new())?;
-        s.sched.complete(id);
-        s.regular_gates += 1;
+        self.router
+            .execute_two_qubit(&mut self.pc, &mut self.mapping, a, b, &HashSet::new())?;
+        self.sched.complete(id);
+        self.regular_gates += 1;
         Ok(())
     }
 
     /// Attempts to execute a multi-target gate on the highway. Returns the
     /// component gate ids that were executed (empty = the group could not
     /// assemble and was abandoned; its gates stay ready).
-    fn try_group(&self, s: &mut Session<'_>, group: &MultiTargetGate) -> Vec<GateId> {
-        let gid = s.shuttle.next_group_id();
+    fn try_group(&mut self, group: &MultiTargetGate) -> Vec<GateId> {
+        let device = self.device;
+        let gid = self.shuttle.next_group_id();
 
         // Hub entrance: earliest execution time among claimable candidates,
-        // borrowed straight from the precomputed entrance table.
-        let hub_pos = s.mapping.phys(group.hub);
-        let pinned = s.shuttle.pinned_view();
-        let hub_choice = s
-            .entrances
+        // borrowed straight from the device's precomputed entrance table.
+        let hub_pos = self.mapping.phys(group.hub);
+        let pinned = self.shuttle.pinned_view();
+        let hub_choice = device
+            .entrances()
             .at(hub_pos)
             .iter()
-            .filter(|o| s.shuttle.occupancy.available_for(o.entrance, gid))
+            .filter(|o| self.shuttle.occupancy.available_for(o.entrance, gid))
             .filter(|o| !pinned.contains_qubit(o.access) && !pinned.contains_qubit(o.entrance))
             .min_by_key(|o| {
-                let t_arr = s.pc.time(hub_pos) + u64::from(3 * o.distance);
+                let t_arr = self.pc.time(hub_pos) + u64::from(3 * o.distance);
                 // Any chosen entrance is floored to the shuttle horizon
                 // before GHZ prep, so rank by the effective availability,
                 // not the stale pre-horizon clock.
-                let t_ava = s.pc.time(o.entrance).max(s.shuttle.horizon());
+                let t_ava = self.pc.time(o.entrance).max(self.shuttle.horizon());
                 (t_arr.max(t_ava), o.distance)
             })
             .copied();
         let Some(hub_choice) = hub_choice else {
             return Vec::new();
         };
-        if s.shuttle
+        if self
+            .shuttle
             .occupancy
-            .try_claim(self.layout, hub_choice.entrance, hub_choice.entrance, gid)
+            .try_claim(
+                device.layout(),
+                hub_choice.entrance,
+                hub_choice.entrance,
+                gid,
+            )
             .is_err()
         {
             return Vec::new();
@@ -615,24 +677,30 @@ impl<'a> MechCompiler<'a> {
         // winning paths reconstruct from the same search, re-searching only
         // when a claim actually grows the corridor — so a component costs
         // at most one search, instead of one per candidate entrance.
-        s.comps.clear();
+        self.comps.clear();
         for c in &group.components {
-            let pos = s.mapping.phys(c.other);
-            let d = s.entrances.at(pos).first().map_or(u32::MAX, |o| o.distance);
-            s.comps.push((c.gate, c.other, d));
+            let pos = self.mapping.phys(c.other);
+            let d = device
+                .entrances()
+                .at(pos)
+                .first()
+                .map_or(u32::MAX, |o| o.distance);
+            self.comps.push((c.gate, c.other, d));
         }
-        s.comps.sort_by_key(|&(_, _, d)| d);
+        self.comps.sort_by_key(|&(_, _, d)| d);
 
-        s.chosen.clear();
-        s.entrance_set.begin(self.topo.num_qubits() as usize);
-        s.entrance_set.insert(hub_choice.entrance);
-        for i in 0..s.comps.len() {
-            let (gate, other, _) = s.comps[i];
-            let pos = s.mapping.phys(other);
-            let pinned = s.shuttle.pinned_view();
-            s.ranked.clear();
-            s.ranked.extend(
-                s.entrances
+        self.chosen.clear();
+        self.entrance_set
+            .begin(device.topology().num_qubits() as usize);
+        self.entrance_set.insert(hub_choice.entrance);
+        for i in 0..self.comps.len() {
+            let (gate, other, _) = self.comps[i];
+            let pos = self.mapping.phys(other);
+            let pinned = self.shuttle.pinned_view();
+            self.ranked.clear();
+            self.ranked.extend(
+                device
+                    .entrances()
                     .at(pos)
                     .iter()
                     // The hub's entrance is consumed by the attach
@@ -640,46 +708,48 @@ impl<'a> MechCompiler<'a> {
                     .filter(|o| o.entrance != hub_choice.entrance)
                     .filter(|o| !pinned.contains_qubit(o.access)),
             );
-            s.ranked.sort_by_key(|o| {
-                let t_arr = s.pc.time(pos) + u64::from(3 * o.distance);
+            self.ranked.sort_by_key(|o| {
+                let t_arr = self.pc.time(pos) + u64::from(3 * o.distance);
                 // Same horizon flooring as the hub ranking above.
-                let t_ava = s.pc.time(o.entrance).max(s.shuttle.horizon());
+                let t_ava = self.pc.time(o.entrance).max(self.shuttle.horizon());
                 (t_arr.max(t_ava), o.distance)
             });
-            for j in 0..s.ranked.len() {
-                let o = s.ranked[j];
-                if s.shuttle
+            for j in 0..self.ranked.len() {
+                let o = self.ranked[j];
+                if self
+                    .shuttle
                     .occupancy
-                    .try_claim(self.layout, hub_choice.entrance, o.entrance, gid)
+                    .try_claim(device.layout(), hub_choice.entrance, o.entrance, gid)
                     .is_ok()
                 {
-                    s.entrance_set.insert(o.entrance);
-                    s.chosen.push((gate, other, o));
+                    self.entrance_set.insert(o.entrance);
+                    self.chosen.push((gate, other, o));
                     break;
                 }
             }
         }
 
-        if s.chosen.is_empty() {
-            s.shuttle.occupancy.release(gid);
+        if self.chosen.is_empty() {
+            self.shuttle.occupancy.release(gid);
             return Vec::new();
         }
 
         // Route the hub to its access position before entangling. The
         // group's own fresh claims are *not* pinned yet: they hold no GHZ
         // state, so the hub may pass through them.
-        let pinned = s.shuttle.pinned_view_excluding(gid);
-        if s.router
+        let pinned = self.shuttle.pinned_view_excluding(gid);
+        if self
+            .router
             .route_to(
-                &mut s.pc,
-                &mut s.mapping,
+                &mut self.pc,
+                &mut self.mapping,
                 group.hub,
                 hub_choice.access,
                 &pinned,
             )
             .is_err()
         {
-            s.shuttle.occupancy.release(gid);
+            self.shuttle.occupancy.release(gid);
             return Vec::new();
         }
         // GHZ preparation over the claimed tree, borrowing the claim lists
@@ -687,29 +757,33 @@ impl<'a> MechCompiler<'a> {
         // nothing belonging to this shuttle may start before the previous
         // shuttle closed, even on highway qubits the previous shuttles
         // never touched.
-        let horizon = s.shuttle.horizon();
-        let nodes = s.shuttle.occupancy.nodes_of(gid);
-        let edges = s.shuttle.occupancy.edges_of(gid);
+        let horizon = self.shuttle.horizon();
+        let nodes = self.shuttle.occupancy.nodes_of(gid);
+        let edges = self.shuttle.occupancy.edges_of(gid);
         for &q in nodes {
-            s.pc.advance(q, horizon);
+            self.pc.advance(q, horizon);
         }
         let prep = match self.config.ghz_style {
             crate::GhzStyle::MeasurementBased => prepare_ghz_with(
-                &mut s.pc,
-                self.topo,
-                self.layout,
+                &mut self.pc,
+                device.topology(),
+                device.layout(),
                 nodes,
                 edges,
-                &s.entrance_set,
-                &mut s.ghz_scratch,
+                &self.entrance_set,
+                &mut self.ghz_scratch,
             ),
-            crate::GhzStyle::Chain => {
-                prepare_ghz_chain(&mut s.pc, self.topo, self.layout, nodes, edges)
-            }
+            crate::GhzStyle::Chain => prepare_ghz_chain(
+                &mut self.pc,
+                device.topology(),
+                device.layout(),
+                nodes,
+                edges,
+            ),
         };
 
         let conjugated = group.kind == GroupKind::Conjugated;
-        s.shuttle.register_group(
+        self.shuttle.register_group(
             ActiveGroup {
                 id: gid,
                 hub_data: hub_choice.access,
@@ -718,11 +792,11 @@ impl<'a> MechCompiler<'a> {
             prep.live,
         );
         if conjugated {
-            s.pc.one_qubit(hub_choice.access); // opening H on the hub
+            self.pc.one_qubit(hub_choice.access); // opening H on the hub
         }
-        s.shuttle.attach_hub(
-            &mut s.pc,
-            self.topo,
+        self.shuttle.attach_hub(
+            &mut self.pc,
+            device.topology(),
             gid,
             hub_choice.access,
             hub_choice.entrance,
@@ -730,17 +804,23 @@ impl<'a> MechCompiler<'a> {
 
         // Stream the components; hubs of other groups stay pinned.
         let mut executed = Vec::new();
-        for i in 0..s.chosen.len() {
-            let (gate, other, opt) = s.chosen[i];
-            let pinned = s.shuttle.pinned_view();
-            if s.router
-                .route_to(&mut s.pc, &mut s.mapping, other, opt.access, &pinned)
+        for i in 0..self.chosen.len() {
+            let (gate, other, opt) = self.chosen[i];
+            let pinned = self.shuttle.pinned_view();
+            if self
+                .router
+                .route_to(&mut self.pc, &mut self.mapping, other, opt.access, &pinned)
                 .is_err()
             {
                 continue; // stays ready; retried in a later shuttle
             }
-            s.shuttle
-                .component(&mut s.pc, self.topo, gid, opt.entrance, opt.access);
+            self.shuttle.component(
+                &mut self.pc,
+                device.topology(),
+                gid,
+                opt.entrance,
+                opt.access,
+            );
             executed.push(gate);
         }
         executed
@@ -750,20 +830,18 @@ impl<'a> MechCompiler<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mech_chiplet::ChipletSpec;
+    use crate::device::DeviceSpec;
     use mech_circuit::benchmarks::{bernstein_vazirani, qaoa_maxcut, qft, random_circuit};
     use mech_circuit::Qubit;
 
-    fn setup(d: u32, rows: u32, cols: u32) -> (Topology, HighwayLayout) {
-        let topo = ChipletSpec::square(d, rows, cols).build();
-        let hw = HighwayLayout::generate(&topo, 1);
-        (topo, hw)
+    fn device(d: u32, rows: u32, cols: u32) -> Arc<DeviceArtifacts> {
+        DeviceSpec::square(d, rows, cols).build_artifacts()
     }
 
     #[test]
     fn empty_circuit_compiles_to_nothing() {
-        let (topo, hw) = setup(5, 1, 1);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(5, 1, 1);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let r = c.compile(&Circuit::new(4)).unwrap();
         assert_eq!(r.circuit.depth(), 0);
         assert_eq!(r.shuttle_stats.shuttles, 0);
@@ -771,17 +849,17 @@ mod tests {
 
     #[test]
     fn oversized_program_is_rejected() {
-        let (topo, hw) = setup(4, 1, 1);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(4, 1, 1);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let err = c.compile(&Circuit::new(100)).unwrap_err();
         assert!(matches!(err, CompileError::TooManyQubits { .. }));
     }
 
     #[test]
     fn bv_uses_a_single_shuttle() {
-        let (topo, hw) = setup(6, 2, 2);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
-        let n = 30.min(hw.num_data_qubits());
+        let dev = device(6, 2, 2);
+        let n = 30.min(dev.num_data_qubits());
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let r = c.compile(&bernstein_vazirani(n, 3)).unwrap();
         assert_eq!(r.shuttle_stats.shuttles, 1, "BV oracle fits one shuttle");
         assert!(r.shuttle_stats.components >= u64::from(n / 2) - 1);
@@ -789,8 +867,8 @@ mod tests {
 
     #[test]
     fn qft_completes_all_gates() {
-        let (topo, hw) = setup(5, 2, 2);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(5, 2, 2);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let n = 20;
         let program = qft(n);
         let r = c.compile(&program).unwrap();
@@ -802,8 +880,8 @@ mod tests {
 
     #[test]
     fn qaoa_shares_shuttles_across_groups() {
-        let (topo, hw) = setup(6, 2, 2);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(6, 2, 2);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let r = c.compile(&qaoa_maxcut(24, 1, 5)).unwrap();
         assert!(
             r.shuttle_stats.highway_gates > r.shuttle_stats.shuttles,
@@ -815,8 +893,8 @@ mod tests {
 
     #[test]
     fn small_gates_run_off_highway() {
-        let (topo, hw) = setup(5, 1, 1);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(5, 1, 1);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let mut prog = Circuit::new(4);
         prog.cnot(Qubit(0), Qubit(1)).unwrap();
         prog.cnot(Qubit(2), Qubit(3)).unwrap();
@@ -828,27 +906,51 @@ mod tests {
     #[test]
     fn random_circuits_compile_on_all_densities() {
         for density in 1..=2 {
-            let topo = ChipletSpec::square(7, 2, 2).build();
-            let hw = HighwayLayout::generate(&topo, density);
-            let config = CompilerConfig {
-                highway_density: density,
-                ..CompilerConfig::default()
-            };
-            let c = MechCompiler::new(&topo, &hw, config);
-            let r = c.compile(&random_circuit(40, 150, density as u64)).unwrap();
+            let dev = DeviceSpec::square(7, 2, 2)
+                .with_density(density)
+                .build_artifacts();
+            let c = MechCompiler::new(dev, CompilerConfig::default());
+            let r = c
+                .compile(&random_circuit(40, 150, u64::from(density)))
+                .unwrap();
             assert!(r.circuit.depth() > 0);
         }
     }
 
     #[test]
     fn compile_is_deterministic() {
-        let (topo, hw) = setup(6, 2, 2);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(6, 2, 2);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let prog = qaoa_maxcut(20, 1, 11);
         let a = c.compile(&prog).unwrap();
         let b = c.compile(&prog).unwrap();
         assert_eq!(a.circuit.depth(), b.circuit.depth());
         assert_eq!(a.circuit.counts(), b.circuit.counts());
+    }
+
+    #[test]
+    fn explicit_session_matches_compile() {
+        // The session API is the compile() internals made public: driving
+        // it by hand (shared DAG, per-request session) must produce the
+        // identical schedule.
+        let dev = device(6, 2, 2);
+        let config = CompilerConfig::default();
+        let prog = qaoa_maxcut(20, 1, 3);
+        let via_compile = MechCompiler::new(Arc::clone(&dev), config)
+            .compile(&prog)
+            .unwrap();
+        let dag = CommutationDag::new(&prog);
+        let via_session = CompileSession::new(&dev, config, &prog, &dag)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(via_compile.circuit.ops(), via_session.circuit.ops());
+        // One DAG can fan out many sessions.
+        let again = CompileSession::new(&dev, config, &prog, &dag)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(via_compile.circuit.ops(), again.circuit.ops());
     }
 
     #[test]
@@ -859,8 +961,8 @@ mod tests {
         // the planner threads to actually spawn (PLAN_MIN_GATES, ≥ 2
         // chiplets). Schedules must come out op-for-op identical at every
         // thread count, including the emission order.
-        let (topo, hw) = setup(6, 2, 2);
-        let n = hw.num_data_qubits();
+        let dev = device(6, 2, 2);
+        let n = dev.num_data_qubits();
         let prog = random_circuit(n, 1200, 77);
         let compile = |threads: usize| {
             let config = CompilerConfig {
@@ -868,7 +970,7 @@ mod tests {
                 min_components: 64,
                 ..CompilerConfig::default()
             };
-            MechCompiler::new(&topo, &hw, config)
+            MechCompiler::new(Arc::clone(&dev), config)
                 .compile(&prog)
                 .unwrap()
         };
@@ -893,19 +995,17 @@ mod tests {
 
     #[test]
     fn chain_ghz_style_trades_depth_for_measurements() {
-        let (topo, hw) = setup(7, 2, 2);
-        let n = hw.num_data_qubits();
+        let dev = device(7, 2, 2);
+        let n = dev.num_data_qubits();
         let program = bernstein_vazirani(n, 5);
-        let mb = MechCompiler::new(&topo, &hw, CompilerConfig::default())
+        let mb = MechCompiler::new(Arc::clone(&dev), CompilerConfig::default())
             .compile(&program)
             .unwrap();
         let chain_cfg = CompilerConfig {
             ghz_style: crate::GhzStyle::Chain,
             ..CompilerConfig::default()
         };
-        let chain = MechCompiler::new(&topo, &hw, chain_cfg)
-            .compile(&program)
-            .unwrap();
+        let chain = MechCompiler::new(dev, chain_cfg).compile(&program).unwrap();
         // The cascade needs no preparation measurements (the growth of its
         // preparation *depth* with path length is asserted at the
         // mechanism level in mech-highway's tests).
@@ -918,8 +1018,8 @@ mod tests {
 
     #[test]
     fn shuttle_trace_matches_stats() {
-        let (topo, hw) = setup(6, 2, 2);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(6, 2, 2);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let r = c.compile(&qaoa_maxcut(24, 1, 5)).unwrap();
         assert_eq!(r.shuttle_trace.len() as u64, r.shuttle_stats.shuttles);
         let traced_components: u64 = r.shuttle_trace.iter().map(|t| t.components).sum();
@@ -935,8 +1035,8 @@ mod tests {
 
     #[test]
     fn metrics_are_extractable() {
-        let (topo, hw) = setup(5, 1, 2);
-        let c = MechCompiler::new(&topo, &hw, CompilerConfig::default());
+        let dev = device(5, 1, 2);
+        let c = MechCompiler::new(dev, CompilerConfig::default());
         let r = c.compile(&bernstein_vazirani(16, 1)).unwrap();
         let m = r.metrics();
         assert_eq!(m.depth, r.circuit.depth());

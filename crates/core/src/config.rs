@@ -14,31 +14,30 @@ pub enum GhzStyle {
     Chain,
 }
 
-/// Configuration of the MECH compiler.
+/// Configuration of the MECH compiler: the per-request knobs.
+///
+/// Device-shaped parameters (highway density, entrance-candidate limit)
+/// live on [`DeviceSpec`](crate::DeviceSpec) instead — they determine the
+/// immutable [`DeviceArtifacts`](crate::DeviceArtifacts) a compilation
+/// runs against, not how one request is compiled.
 ///
 /// # Example
 ///
 /// ```
 /// use mech::CompilerConfig;
 /// let config = CompilerConfig {
-///     highway_density: 2,
+///     min_components: 4,
 ///     ..CompilerConfig::default()
 /// };
-/// assert_eq!(config.min_components, 3);
+/// assert_eq!(config.min_components, 4);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompilerConfig {
     /// Hardware latency/fidelity parameters.
     pub cost: CostModel,
-    /// Highway corridors per chiplet per direction (paper Fig. 15: 1 ≈ 14%,
-    /// 2 ≈ 25%, 3 ≈ 41% ancilla overhead on 9×9 chiplets).
-    pub highway_density: u32,
     /// Minimum components for a multi-target gate to ride the highway;
     /// smaller clusters execute as regular routed gates.
     pub min_components: usize,
-    /// Entrance candidates examined per data qubit during entrance
-    /// selection.
-    pub entrance_candidates: usize,
     /// GHZ preparation scheme (measurement-based vs. naive chain).
     pub ghz_style: GhzStyle,
     /// Worker threads for the shardable compilation phases (currently the
@@ -71,9 +70,7 @@ impl Default for CompilerConfig {
     fn default() -> Self {
         CompilerConfig {
             cost: CostModel::default(),
-            highway_density: 1,
             min_components: 3,
-            entrance_candidates: 4,
             ghz_style: GhzStyle::default(),
             threads: threads_from_env(),
             sabre: SabreConfig::default(),
@@ -88,9 +85,8 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let c = CompilerConfig::default();
-        assert_eq!(c.highway_density, 1);
         assert!(c.min_components >= 2);
-        assert!(c.entrance_candidates >= 1);
+        assert!(c.threads >= 1);
         assert_eq!(c.cost, CostModel::default());
     }
 }

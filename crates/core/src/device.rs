@@ -1,0 +1,280 @@
+//! The device tier: immutable, shareable per-device artifacts.
+//!
+//! The compile pipeline is split into two layers (DESIGN.md §11):
+//!
+//! * [`DeviceArtifacts`] — everything derived from the device alone:
+//!   the CSR [`Topology`] with its all-pairs hop table, the
+//!   [`HighwayLayout`], the eager [`EntranceTable`], and the highway
+//!   [`HighwaySkeleton`] (CSR claim graph). Immutable, `Send + Sync`,
+//!   shared across concurrent compilations via `Arc`;
+//! * `CompileSession` (in [`compiler`](crate::MechCompiler)) — the cheap
+//!   per-request state: mapping, scratch pools, occupancy, fronts.
+//!
+//! [`DeviceSpec`] is the *value* that names a device (chiplet geometry +
+//! highway density + entrance-candidate limit); it is `Copy`/`Eq`/`Hash`
+//! and keys the global [`DeviceCache`] so every caller compiling against
+//! the same spec shares one artifact bundle.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayLayout, Topology};
+use mech_highway::{EntranceTable, HighwaySkeleton};
+
+/// Default number of highway corridors per chiplet per direction.
+pub const DEFAULT_HIGHWAY_DENSITY: u32 = 1;
+
+/// Default number of entrance candidates examined per data qubit.
+pub const DEFAULT_ENTRANCE_CANDIDATES: usize = 4;
+
+/// The value naming one device configuration: chiplet geometry plus the
+/// device-shaped compiler parameters that determine every derived
+/// artifact. Two equal specs always produce interchangeable
+/// [`DeviceArtifacts`] — this is the cache key contract of
+/// [`DeviceCache`].
+///
+/// # Example
+///
+/// ```
+/// use mech::DeviceSpec;
+///
+/// let spec = DeviceSpec::square(6, 2, 2).with_density(2);
+/// let device = spec.cached();
+/// assert_eq!(device.spec(), spec);
+/// // A second lookup shares the same bundle.
+/// assert!(std::sync::Arc::ptr_eq(&device, &spec.cached()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceSpec {
+    chiplet: ChipletSpec,
+    highway_density: u32,
+    entrance_candidates: usize,
+}
+
+impl DeviceSpec {
+    /// A device spec with default highway density and entrance-candidate
+    /// limit.
+    pub fn new(chiplet: ChipletSpec) -> Self {
+        DeviceSpec {
+            chiplet,
+            highway_density: DEFAULT_HIGHWAY_DENSITY,
+            entrance_candidates: DEFAULT_ENTRANCE_CANDIDATES,
+        }
+    }
+
+    /// Shorthand for a square-lattice chiplet array (the paper's main
+    /// configuration).
+    pub fn square(chiplet_size: u32, array_rows: u32, array_cols: u32) -> Self {
+        DeviceSpec::new(ChipletSpec::square(chiplet_size, array_rows, array_cols))
+    }
+
+    /// Shorthand for a heavy-hexagon chiplet array.
+    pub fn heavy_hex(chiplet_size: u32, array_rows: u32, array_cols: u32) -> Self {
+        DeviceSpec::new(ChipletSpec::new(
+            CouplingStructure::HeavyHexagon,
+            chiplet_size,
+            array_rows,
+            array_cols,
+        ))
+    }
+
+    /// Sets the number of highway corridors per chiplet per direction
+    /// (paper Fig. 15: 1 ≈ 14%, 2 ≈ 25%, 3 ≈ 41% ancilla overhead on 9×9
+    /// chiplets).
+    pub fn with_density(mut self, density: u32) -> Self {
+        self.highway_density = density;
+        self
+    }
+
+    /// Sets the number of entrance candidates examined per data qubit
+    /// during entrance selection.
+    pub fn with_entrance_candidates(mut self, limit: usize) -> Self {
+        self.entrance_candidates = limit;
+        self
+    }
+
+    /// The chiplet geometry.
+    pub fn chiplet(&self) -> ChipletSpec {
+        self.chiplet
+    }
+
+    /// Highway corridors per chiplet per direction.
+    pub fn highway_density(&self) -> u32 {
+        self.highway_density
+    }
+
+    /// Entrance candidates per data qubit.
+    pub fn entrance_candidates(&self) -> usize {
+        self.entrance_candidates
+    }
+
+    /// Builds a fresh artifact bundle, bypassing the cache (tests use this
+    /// to prove fresh-built and cache-shared artifacts compile
+    /// identically).
+    pub fn build_artifacts(self) -> Arc<DeviceArtifacts> {
+        Arc::new(DeviceArtifacts::build(self))
+    }
+
+    /// The memoized artifact bundle for this spec from the global
+    /// [`DeviceCache`].
+    pub fn cached(self) -> Arc<DeviceArtifacts> {
+        DeviceCache::global().get_or_build(self)
+    }
+}
+
+/// Everything the compiler derives from a device and never mutates:
+/// topology (CSR adjacency + all-pairs hop table), highway layout,
+/// entrance table, and the highway claim-graph skeleton. Built once per
+/// [`DeviceSpec`], shared across any number of concurrent compilations.
+#[derive(Debug)]
+pub struct DeviceArtifacts {
+    spec: DeviceSpec,
+    topo: Topology,
+    layout: HighwayLayout,
+    entrances: EntranceTable,
+    skeleton: Arc<HighwaySkeleton>,
+}
+
+// The whole point of the device tier: one bundle, many concurrent
+// sessions. Checked at compile time.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<DeviceArtifacts>();
+};
+
+impl DeviceArtifacts {
+    /// Builds the full bundle for `spec`: topology, highway layout,
+    /// entrance table (one BFS per data qubit — the only entrance searches
+    /// this device will ever run), and CSR claim skeleton.
+    pub fn build(spec: DeviceSpec) -> Self {
+        let topo = spec.chiplet.build();
+        let layout = HighwayLayout::generate(&topo, spec.highway_density);
+        let entrances = EntranceTable::build(&topo, &layout, spec.entrance_candidates);
+        let skeleton = Arc::new(HighwaySkeleton::build(topo.num_qubits() as usize, &layout));
+        DeviceArtifacts {
+            spec,
+            topo,
+            layout,
+            entrances,
+            skeleton,
+        }
+    }
+
+    /// The spec this bundle was built from.
+    pub fn spec(&self) -> DeviceSpec {
+        self.spec
+    }
+
+    /// The chiplet-array topology (CSR adjacency + all-pairs hop table).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The highway layout.
+    pub fn layout(&self) -> &HighwayLayout {
+        &self.layout
+    }
+
+    /// The eager entrance table (entrance options per data qubit).
+    pub fn entrances(&self) -> &EntranceTable {
+        &self.entrances
+    }
+
+    /// The shared CSR skeleton of the highway claim graph.
+    pub fn skeleton(&self) -> &Arc<HighwaySkeleton> {
+        &self.skeleton
+    }
+
+    /// Number of data (non-highway) qubits — the program width this device
+    /// supports.
+    pub fn num_data_qubits(&self) -> u32 {
+        self.layout.num_data_qubits()
+    }
+}
+
+/// Memoizes [`DeviceArtifacts`] by [`DeviceSpec`]. Process-global via
+/// [`DeviceCache::global`]; separate instances exist only for tests.
+///
+/// A build runs while the map lock is held, so a burst of first-touch
+/// requests for one spec builds exactly once and every waiter receives
+/// the same `Arc`. Builds are milliseconds and happen once per device per
+/// process — serializing them is the simple correct choice.
+#[derive(Debug, Default)]
+pub struct DeviceCache {
+    entries: Mutex<HashMap<DeviceSpec, Arc<DeviceArtifacts>>>,
+}
+
+impl DeviceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DeviceCache::default()
+    }
+
+    /// The process-global cache used by [`DeviceSpec::cached`].
+    pub fn global() -> &'static DeviceCache {
+        static GLOBAL: OnceLock<DeviceCache> = OnceLock::new();
+        GLOBAL.get_or_init(DeviceCache::new)
+    }
+
+    /// The memoized bundle for `spec`, building it on first touch.
+    pub fn get_or_build(&self, spec: DeviceSpec) -> Arc<DeviceArtifacts> {
+        let mut entries = self.entries.lock().expect("device cache poisoned");
+        if let Some(artifacts) = entries.get(&spec) {
+            return Arc::clone(artifacts);
+        }
+        let artifacts = Arc::new(DeviceArtifacts::build(spec));
+        entries.insert(spec, Arc::clone(&artifacts));
+        artifacts
+    }
+
+    /// Number of distinct specs built so far.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("device cache poisoned").len()
+    }
+
+    /// `true` if nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_shares_one_bundle_per_spec() {
+        let cache = DeviceCache::new();
+        let spec = DeviceSpec::square(5, 1, 1);
+        let a = cache.get_or_build(spec);
+        let b = cache.get_or_build(spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // A different knob is a different device.
+        let c = cache.get_or_build(spec.with_entrance_candidates(2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn artifacts_are_complete() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        assert_eq!(device.num_data_qubits(), device.layout().num_data_qubits());
+        assert!(device.topology().num_qubits() > device.num_data_qubits());
+        let q = device.layout().data_qubits()[0];
+        assert!(
+            !device.entrances().at(q).is_empty(),
+            "entrance table built eagerly"
+        );
+        assert!(device.skeleton().matches(device.layout()));
+    }
+
+    #[test]
+    fn spec_keys_compare_structurally() {
+        let a = DeviceSpec::square(6, 2, 2).with_density(2);
+        let b = DeviceSpec::square(6, 2, 2).with_density(2);
+        assert_eq!(a, b);
+        assert_ne!(a, b.with_density(1));
+        assert_ne!(a, DeviceSpec::heavy_hex(6, 2, 2).with_density(2));
+    }
+}

@@ -12,20 +12,19 @@
 //! # Quick start
 //!
 //! ```
-//! use mech::{BaselineCompiler, CompilerConfig, MechCompiler};
-//! use mech_chiplet::{ChipletSpec, HighwayLayout};
+//! use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler};
 //! use mech_circuit::benchmarks::qft;
 //!
 //! # fn main() -> Result<(), mech::CompileError> {
-//! // A 2×2 array of 6×6 square chiplets.
-//! let topo = ChipletSpec::square(6, 2, 2).build();
-//! let layout = HighwayLayout::generate(&topo, 1);
+//! // A 2×2 array of 6×6 square chiplets, memoized in the device cache:
+//! // every caller naming this spec shares one immutable artifact bundle.
+//! let device = DeviceSpec::square(6, 2, 2).cached();
 //!
 //! let program = qft(40);
 //! let config = CompilerConfig::default();
 //!
-//! let mech = MechCompiler::new(&topo, &layout, config).compile(&program)?;
-//! let baseline = BaselineCompiler::new(&topo, config).compile(&program)?;
+//! let mech = MechCompiler::new(device.clone(), config).compile(&program)?;
+//! let baseline = BaselineCompiler::new(device.topology(), config).compile(&program)?;
 //!
 //! let m = mech.metrics();
 //! let b = mech::Metrics::from_circuit(&baseline);
@@ -48,13 +47,17 @@
 mod baseline;
 mod compiler;
 mod config;
+mod device;
 mod error;
 pub mod fidelity;
 mod metrics;
 
 pub use baseline::BaselineCompiler;
-pub use compiler::{CompileResult, MechCompiler};
+pub use compiler::{CompileResult, CompileSession, MechCompiler};
 pub use config::{CompilerConfig, GhzStyle};
+pub use device::{
+    DeviceArtifacts, DeviceCache, DeviceSpec, DEFAULT_ENTRANCE_CANDIDATES, DEFAULT_HIGHWAY_DENSITY,
+};
 pub use error::CompileError;
 pub use metrics::Metrics;
 

@@ -25,6 +25,7 @@ mod entrance;
 mod ghz;
 mod occupancy;
 mod shuttle;
+mod skeleton;
 
 pub use connectivity::ConnectivityIndex;
 pub use entrance::{entrance_candidates, entrance_search_count, EntranceOption, EntranceTable};
@@ -33,3 +34,4 @@ pub use occupancy::{GroupId, HighwayOccupancy, RouteError};
 pub use shuttle::{
     ActiveGroup, PinnedView, PinnedViewExcluding, ShuttleRecord, ShuttleState, ShuttleStats,
 };
+pub use skeleton::HighwaySkeleton;

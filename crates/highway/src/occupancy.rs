@@ -16,10 +16,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use mech_chiplet::{CsrGraph, DialSearch, HighwayLayout, PhysQubit, RoutingScratch};
+use mech_chiplet::{DialSearch, HighwayLayout, PhysQubit, RoutingScratch};
 
 use crate::connectivity::ConnectivityIndex;
+use crate::skeleton::HighwaySkeleton;
 
 /// Identifier of a multi-target gate currently holding highway resources.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -114,18 +116,13 @@ pub struct HighwayOccupancy {
     next_stamp: u32,
     /// Reusable routing workspace (same mechanism as the local router).
     scratch: RoutingScratch,
-    /// Flat CSR view of the layout's highway graph (kernel-layer
-    /// [`CsrGraph`]: sorted rows plus edge-id lookup), built on first use.
-    graph: CsrGraph,
+    /// Immutable CSR view of the layout's highway graph — either shared
+    /// from the device artifacts ([`HighwayOccupancy::with_skeleton`]) or
+    /// built lazily on first use.
+    skeleton: Option<Arc<HighwaySkeleton>>,
     /// The resumable 0/1-bucket kernel driving the one-search claim
     /// engine.
     dial: DialSearch,
-    graph_built: bool,
-    /// Address of the layout's edge buffer the caches were built from,
-    /// plus a spot-checked edge — a best-effort identity check that the
-    /// one-table-one-layout contract holds.
-    graph_addr: usize,
-    graph_last_edge: Option<(PhysQubit, PhysQubit)>,
     /// `(origin, group)` of the search currently live in `scratch`.
     search_key: Option<(PhysQubit, GroupId)>,
     /// Owner-state generation the live search was computed at.
@@ -140,7 +137,8 @@ pub struct HighwayOccupancy {
 
 impl HighwayOccupancy {
     /// Creates an empty occupancy table for a device with
-    /// `topo.num_qubits()` qubits.
+    /// `topo.num_qubits()` qubits. The CSR highway graph is built lazily
+    /// on the first claim.
     pub fn new(topo: &mech_chiplet::Topology) -> Self {
         let n = topo.num_qubits() as usize;
         HighwayOccupancy {
@@ -152,11 +150,8 @@ impl HighwayOccupancy {
             edge_seen: Vec::new(),
             next_stamp: 1,
             scratch: RoutingScratch::default(),
-            graph: CsrGraph::default(),
+            skeleton: None,
             dial: DialSearch::default(),
-            graph_built: false,
-            graph_addr: 0,
-            graph_last_edge: None,
             search_key: None,
             search_epoch: 0,
             owner_epoch: 0,
@@ -164,6 +159,18 @@ impl HighwayOccupancy {
             searches: 0,
             skips: 0,
         }
+    }
+
+    /// Creates an empty occupancy table pre-seeded with a shared
+    /// [`HighwaySkeleton`] — no per-table graph build. The claim engine
+    /// behaves bit-identically to a lazily built table; only the graph
+    /// construction cost moves out.
+    pub fn with_skeleton(topo: &mech_chiplet::Topology, skeleton: Arc<HighwaySkeleton>) -> Self {
+        let mut occ = HighwayOccupancy::new(topo);
+        occ.edge_seen = vec![0; skeleton.num_edges()];
+        occ.dial.fit(skeleton.dial_levels());
+        occ.skeleton = Some(skeleton);
+        occ
     }
 
     /// The gate currently occupying `q`, if any.
@@ -227,8 +234,15 @@ impl HighwayOccupancy {
             return true;
         }
         self.ensure_graph(layout);
-        self.connectivity.ensure_fresh(&self.graph, &self.owner);
-        self.connectivity.may_connect(from, to, g, &self.owner)
+        let Self {
+            connectivity,
+            skeleton,
+            owner,
+            ..
+        } = self;
+        let graph = skeleton.as_deref().expect("ensured above").csr();
+        connectivity.ensure_fresh(graph, owner);
+        connectivity.may_connect(from, to, g, owner)
     }
 
     /// Routes from `from` to `to` over the highway graph and claims the
@@ -282,7 +296,16 @@ impl HighwayOccupancy {
             return Err(RouteError::Congested);
         }
         self.ensure_graph(layout);
-        self.connectivity.ensure_fresh(&self.graph, &self.owner);
+        {
+            let Self {
+                connectivity,
+                skeleton,
+                owner,
+                ..
+            } = self;
+            let graph = skeleton.as_deref().expect("ensured above").csr();
+            connectivity.ensure_fresh(graph, owner);
+        }
 
         // Trivial self-claim (hub entrances): no search required.
         if from == to {
@@ -346,10 +369,11 @@ impl HighwayOccupancy {
         let Self {
             owner,
             scratch,
-            graph,
+            skeleton,
             dial,
             ..
         } = self;
+        let graph = skeleton.as_deref().expect("search implies graph").csr();
         dial.advance_to(scratch, graph, to, |nb| match owner[nb.index()] {
             None => Some(1),
             Some(o) if o == g => Some(0),
@@ -365,9 +389,10 @@ impl HighwayOccupancy {
         let Self {
             owner,
             scratch,
-            graph,
+            skeleton,
             ..
         } = self;
+        let graph = skeleton.as_deref().expect("search implies graph").csr();
         scratch.reconstruct_path(
             from,
             to,
@@ -405,11 +430,12 @@ impl HighwayOccupancy {
             claimed,
             edge_seen,
             scratch,
-            graph,
+            skeleton,
             owner_epoch,
             connectivity,
             ..
         } = self;
+        let graph = skeleton.as_deref().expect("claims imply graph").csr();
         let path = scratch.path.as_slice();
         let claim = groups.get_mut(&g).expect("inserted above");
         let mut grew = false;
@@ -436,32 +462,24 @@ impl HighwayOccupancy {
         }
     }
 
-    /// Builds the flat CSR copy of the layout's highway graph on first
-    /// use.
+    /// Ensures the CSR skeleton is present: spot-checks a shared (or
+    /// previously built) skeleton against `layout`, or builds one lazily
+    /// on first use.
     fn ensure_graph(&mut self, layout: &HighwayLayout) {
-        if self.graph_built {
+        if let Some(skeleton) = &self.skeleton {
             // Loud in release too: silently routing over a cached copy of
             // a different layout's graph would corrupt schedules. Best
-            // effort in O(1): buffer address (stable across layout moves),
-            // edge count, and an endpoint spot-check — an exhaustive
-            // content compare would cost O(E) on every claim.
+            // effort in O(1) — see [`HighwaySkeleton::matches`].
             assert!(
-                self.graph_addr == layout.edges().as_ptr() as usize
-                    && self.edge_seen.len() == layout.edges().len()
-                    && layout.edges().last().map(|e| (e.a, e.b)) == self.graph_last_edge,
+                skeleton.matches(layout) && self.edge_seen.len() == skeleton.num_edges(),
                 "one HighwayOccupancy serves one HighwayLayout"
             );
             return;
         }
-        self.graph_built = true;
-        self.graph_addr = layout.edges().as_ptr() as usize;
-        self.graph_last_edge = layout.edges().last().map(|e| (e.a, e.b));
-        let edges = layout.edges();
-        let endpoints: Vec<(PhysQubit, PhysQubit)> = edges.iter().map(|e| (e.a, e.b)).collect();
-        self.graph = CsrGraph::from_edges(self.owner.len(), &endpoints);
-        // Primary cost ≤ one per distinct highway node on a path.
-        self.dial.fit(layout.nodes().len() + 1);
-        self.edge_seen = vec![0; edges.len()];
+        let skeleton = HighwaySkeleton::build(self.owner.len(), layout);
+        self.dial.fit(skeleton.dial_levels());
+        self.edge_seen = vec![0; skeleton.num_edges()];
+        self.skeleton = Some(Arc::new(skeleton));
     }
 
     /// Releases the resources of a single group (used when a gate fails to
@@ -685,6 +703,25 @@ mod tests {
             searches,
             "prefilter must skip the search"
         );
+    }
+
+    #[test]
+    fn shared_skeleton_matches_lazy_build() {
+        let (topo, hw) = setup();
+        let skeleton = Arc::new(HighwaySkeleton::build(topo.num_qubits() as usize, &hw));
+        let mut lazy = HighwayOccupancy::new(&topo);
+        let mut shared_a = HighwayOccupancy::with_skeleton(&topo, skeleton.clone());
+        let mut shared_b = HighwayOccupancy::with_skeleton(&topo, skeleton);
+        let a = hw.nodes()[0];
+        let b = *hw.nodes().last().unwrap();
+        let want = lazy.claim_route(&hw, a, b, GroupId(0)).unwrap();
+        // Two tables sharing one skeleton behave exactly like the lazy
+        // build — same paths, same search counts, independent claim state.
+        assert_eq!(shared_a.claim_route(&hw, a, b, GroupId(0)).unwrap(), want);
+        assert_eq!(shared_b.claim_route(&hw, a, b, GroupId(1)).unwrap(), want);
+        assert_eq!(shared_a.claim_searches(), lazy.claim_searches());
+        assert_eq!(shared_a.owner(want[0]), Some(GroupId(0)));
+        assert_eq!(shared_b.owner(want[0]), Some(GroupId(1)));
     }
 
     #[test]

@@ -122,6 +122,18 @@ impl ShuttleState {
         }
     }
 
+    /// [`ShuttleState::new`] with the occupancy table pre-seeded from a
+    /// shared [`HighwaySkeleton`](crate::HighwaySkeleton) — no per-session
+    /// CSR graph build, bit-identical claim behavior.
+    pub fn with_skeleton(
+        topo: &Topology,
+        skeleton: std::sync::Arc<crate::HighwaySkeleton>,
+    ) -> Self {
+        let mut state = ShuttleState::new(topo);
+        state.occupancy = HighwayOccupancy::with_skeleton(topo, skeleton);
+        state
+    }
+
     /// The current pinned set as a zero-cost view (hub positions plus
     /// claimed highway qubits).
     pub fn pinned_view(&self) -> PinnedView<'_> {

@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example architecture_sweep`
 
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayEdgeKind, HighwayLayout};
+use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
+use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayEdgeKind};
 use mech_circuit::benchmarks::vqe_full_entanglement;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,8 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for structure in CouplingStructure::ALL {
-        let topo = ChipletSpec::new(structure, 8, 2, 2).build();
-        let layout = HighwayLayout::generate(&topo, 1);
+        let device = DeviceSpec::new(ChipletSpec::new(structure, 8, 2, 2)).cached();
+        let layout = device.layout();
         let bridges = layout
             .edges()
             .iter()
@@ -30,16 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|e| matches!(e.kind, HighwayEdgeKind::Cross))
             .count();
 
-        let n = layout.num_data_qubits().min(80);
+        let n = device.num_data_qubits().min(80);
         let program = vqe_full_entanglement(n, 1);
-        let m = MechCompiler::new(&topo, &layout, config).compile(&program)?;
-        let b = Metrics::from_circuit(&BaselineCompiler::new(&topo, config).compile(&program)?);
+        let m = MechCompiler::new(device.clone(), config).compile(&program)?;
+        let b = Metrics::from_circuit(
+            &BaselineCompiler::new(device.topology(), config).compile(&program)?,
+        );
         let mm = m.metrics();
 
         println!(
             "{:<16} {:>6} {:>6} {:>6.1}% {:>8} {:>8} {:>10} {:>8.1}%",
             structure.name(),
-            topo.num_qubits(),
+            device.topology().num_qubits(),
             layout.num_data_qubits(),
             100.0 * layout.percentage(),
             bridges,

@@ -6,22 +6,20 @@
 //!
 //! Run with: `cargo run --release --example bv_highway`
 
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
 use mech_circuit::benchmarks::bernstein_vazirani;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let topo = ChipletSpec::square(6, 2, 2).build();
-    let layout = HighwayLayout::generate(&topo, 1);
+    let device = DeviceSpec::square(6, 2, 2).cached();
     let config = CompilerConfig::default();
-    let mech = MechCompiler::new(&topo, &layout, config);
-    let baseline = BaselineCompiler::new(&topo, config);
+    let mech = MechCompiler::new(device.clone(), config);
+    let baseline = BaselineCompiler::new(device.topology(), config);
 
     println!(
         "{:>6} {:>14} {:>10} {:>9} {:>10}",
         "n", "baseline depth", "MECH depth", "shuttles", "improve"
     );
-    for n in [16u32, 32, 64, layout.num_data_qubits()] {
+    for n in [16u32, 32, 64, device.num_data_qubits()] {
         let program = bernstein_vazirani(n, 42);
         let m = mech.compile(&program)?;
         let b = Metrics::from_circuit(&baseline.compile(&program)?);

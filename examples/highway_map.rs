@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --release --example highway_map`
 
-use mech_chiplet::{render_layout, ChipletSpec, CouplingStructure, HighwayLayout};
+use mech::DeviceSpec;
+use mech_chiplet::{render_layout, ChipletSpec, CouplingStructure};
 use mech_sim::protocol::{ghz_chain, multi_target_protocol};
 use mech_sim::State;
 use rand::rngs::StdRng;
@@ -13,15 +14,15 @@ use rand::SeedableRng;
 
 fn main() {
     for structure in CouplingStructure::ALL {
-        let topo = ChipletSpec::new(structure, 7, 1, 2).build();
-        let layout = HighwayLayout::generate(&topo, 1);
+        let device = DeviceSpec::new(ChipletSpec::new(structure, 7, 1, 2)).cached();
+        let layout = device.layout();
         println!(
             "== {} (1x2 array of 7x7 chiplets, {} highway qubits = {:.1}%)",
             structure.name(),
             layout.num_highway_qubits(),
             100.0 * layout.percentage()
         );
-        println!("{}", render_layout(&topo, &layout));
+        println!("{}", render_layout(device.topology(), layout));
     }
 
     // Protocol check: control q0, GHZ q1..q3, targets q4..q5.

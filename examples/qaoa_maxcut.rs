@@ -5,14 +5,12 @@
 //!
 //! Run with: `cargo run --release --example qaoa_maxcut`
 
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
 use mech_circuit::benchmarks::{qaoa_maxcut, random_maxcut_graph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let topo = ChipletSpec::square(7, 2, 2).build();
-    let layout = HighwayLayout::generate(&topo, 1);
-    let n = layout.num_data_qubits().min(120);
+    let device = DeviceSpec::square(7, 2, 2).cached();
+    let n = device.num_data_qubits().min(120);
 
     let edges = random_maxcut_graph(n, 7);
     println!(
@@ -21,8 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let config = CompilerConfig::default();
-    let mech = MechCompiler::new(&topo, &layout, config);
-    let baseline = BaselineCompiler::new(&topo, config);
+    let mech = MechCompiler::new(device.clone(), config);
+    let baseline = BaselineCompiler::new(device.topology(), config);
 
     for layers in 1..=2 {
         let program = qaoa_maxcut(n, layers, 7);

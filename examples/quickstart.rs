@@ -3,13 +3,15 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
 use mech_circuit::benchmarks::qft;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Describe the hardware: a 2×2 array of 6×6 square chiplets.
-    let topo = ChipletSpec::square(6, 2, 2).build();
+    // 1. Name the hardware: a 2×2 array of 6×6 square chiplets. `cached()`
+    //    builds the immutable device tier (topology, highway layout,
+    //    entrance table) once and shares it with every later caller.
+    let device = DeviceSpec::square(6, 2, 2).cached();
+    let topo = device.topology();
     println!(
         "device: {} qubits on {} chiplets ({} cross-chip links)",
         topo.num_qubits(),
@@ -17,9 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         topo.num_cross_links()
     );
 
-    // 2. Allocate the communication highway (density 1 ≈ one corridor per
+    // 2. The highway came with the bundle (density 1 ≈ one corridor per
     //    chiplet per direction).
-    let layout = HighwayLayout::generate(&topo, 1);
+    let layout = device.layout();
     println!(
         "highway: {} ancillas ({:.1}% of qubits), {} data qubits",
         layout.num_highway_qubits(),
@@ -28,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. A program sized to the data region.
-    let n = layout.num_data_qubits().min(100);
+    let n = device.num_data_qubits().min(100);
     let program = qft(n);
     println!(
         "program: QFT-{n} with {} two-qubit gates",
@@ -37,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Compile with MECH and with the baseline.
     let config = CompilerConfig::default();
-    let mech = MechCompiler::new(&topo, &layout, config).compile(&program)?;
-    let baseline = BaselineCompiler::new(&topo, config).compile(&program)?;
+    let mech = MechCompiler::new(device.clone(), config).compile(&program)?;
+    let baseline = BaselineCompiler::new(device.topology(), config).compile(&program)?;
 
     let m = mech.metrics();
     let b = Metrics::from_circuit(&baseline);

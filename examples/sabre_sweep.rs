@@ -11,13 +11,15 @@
 //! cargo run --release --example sabre_sweep
 //! ```
 
+use mech::DeviceSpec;
 use mech_bench::programs;
-use mech_chiplet::{ChipletSpec, CostModel};
+use mech_chiplet::CostModel;
 use mech_router::{sabre_route, SabreConfig};
 use std::time::Instant;
 
 fn main() {
-    let topo = ChipletSpec::square(7, 3, 3).build();
+    let device = DeviceSpec::square(7, 3, 3).cached();
+    let topo = device.topology();
     let n = 360; // data-region width of the 441-qubit device
     let fams: Vec<(&str, mech_circuit::Circuit)> = vec![
         ("qft", programs::qft(n)),
@@ -39,7 +41,7 @@ fn main() {
             let mut out = None;
             for _ in 0..2 {
                 let t = Instant::now();
-                let pc = sabre_route(prog, &topo, CostModel::default(), cfg);
+                let pc = sabre_route(prog, topo, CostModel::default(), cfg);
                 best = best.min(t.elapsed().as_secs_f64() * 1000.0);
                 out = Some(pc);
             }

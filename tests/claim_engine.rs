@@ -269,10 +269,9 @@ proptest! {
 /// instead of one per candidate entrance, as the seed engine ran).
 #[test]
 fn qft_compile_searches_drop_below_candidate_count() {
-    let topo = ChipletSpec::square(6, 2, 2).build();
-    let layout = HighwayLayout::generate(&topo, 1);
-    let n = layout.num_data_qubits();
-    let compiler = MechCompiler::new(&topo, &layout, CompilerConfig::default());
+    let device = mech::DeviceSpec::square(6, 2, 2).cached();
+    let n = device.num_data_qubits();
+    let compiler = MechCompiler::new(device, CompilerConfig::default());
     let r = compiler.compile(&programs::qft(n)).expect("compiles");
 
     // The seed engine ran at least one search per executed component plus

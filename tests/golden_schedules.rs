@@ -18,9 +18,9 @@
 //! `MECH_GOLDEN_PRINT=1 cargo test --test golden_schedules -- --nocapture`
 //! and paste the printed fingerprints below.
 
-use mech::{CompilerConfig, MechCompiler};
+use mech::{CompilerConfig, DeviceSpec, MechCompiler};
 use mech_bench::programs;
-use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayLayout};
+use mech_chiplet::{ChipletSpec, CouplingStructure};
 use mech_circuit::Circuit;
 
 /// Thread counts every fingerprint is checked at: serial, minimal
@@ -31,14 +31,18 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 /// comparable string. Deliberately excludes the raw op list: op *emission
 /// order* between commuting free one-qubit gates is not part of the
 /// schedule contract, while every timed quantity below is.
-fn fingerprint(device: ChipletSpec, density: u32, program: &Circuit, threads: usize) -> String {
-    let topo = device.build();
-    let layout = HighwayLayout::generate(&topo, density);
+///
+/// Devices come from the global artifact cache, so the golden runs also
+/// pin the contract that a cache-shared `DeviceArtifacts` bundle compiles
+/// identically to a freshly built one (asserted directly in
+/// `tests/shared_artifacts.rs`).
+fn fingerprint(spec: DeviceSpec, program: &Circuit, threads: usize) -> String {
+    let device = spec.cached();
     let config = CompilerConfig {
         threads,
         ..CompilerConfig::default()
     };
-    let compiler = MechCompiler::new(&topo, &layout, config);
+    let compiler = MechCompiler::new(device, config);
     let r = compiler.compile(program).expect("golden program compiles");
     let c = r.circuit.counts();
     let mut fp = format!(
@@ -64,14 +68,14 @@ fn fingerprint(device: ChipletSpec, density: u32, program: &Circuit, threads: us
 
 /// Asserts the fingerprint matches at every thread count, or prints it
 /// when regenerating.
-fn check(name: &str, device: ChipletSpec, density: u32, program: &Circuit, golden: &str) {
+fn check(name: &str, spec: DeviceSpec, program: &Circuit, golden: &str) {
     if std::env::var_os("MECH_GOLDEN_PRINT").is_some() {
-        let actual = fingerprint(device, density, program, 1);
+        let actual = fingerprint(spec, program, 1);
         println!("GOLDEN {name} = {actual}");
         return;
     }
     for threads in THREAD_COUNTS {
-        let actual = fingerprint(device, density, program, threads);
+        let actual = fingerprint(spec, program, threads);
         assert_eq!(
             actual, golden,
             "schedule for {name} at threads={threads} diverged from the golden snapshot"
@@ -79,47 +83,45 @@ fn check(name: &str, device: ChipletSpec, density: u32, program: &Circuit, golde
     }
 }
 
-fn data_width(device: ChipletSpec, density: u32) -> u32 {
-    let topo = device.build();
-    HighwayLayout::generate(&topo, density).num_data_qubits()
+fn data_width(spec: DeviceSpec) -> u32 {
+    spec.cached().num_data_qubits()
 }
 
 #[test]
 fn golden_qft_6x6_2x2() {
-    let dev = ChipletSpec::square(6, 2, 2);
-    let n = data_width(dev, 1);
-    check("qft_6x6_2x2", dev, 1, &programs::qft(n), GOLDEN_QFT);
+    let dev = DeviceSpec::square(6, 2, 2);
+    let n = data_width(dev);
+    check("qft_6x6_2x2", dev, &programs::qft(n), GOLDEN_QFT);
 }
 
 #[test]
 fn golden_qaoa_6x6_2x2() {
-    let dev = ChipletSpec::square(6, 2, 2);
-    let n = data_width(dev, 1);
-    check("qaoa_6x6_2x2", dev, 1, &programs::qaoa(n), GOLDEN_QAOA);
+    let dev = DeviceSpec::square(6, 2, 2);
+    let n = data_width(dev);
+    check("qaoa_6x6_2x2", dev, &programs::qaoa(n), GOLDEN_QAOA);
 }
 
 #[test]
 fn golden_vqe_6x6_2x2() {
-    let dev = ChipletSpec::square(6, 2, 2);
-    let n = data_width(dev, 1);
-    check("vqe_6x6_2x2", dev, 1, &programs::vqe(n), GOLDEN_VQE);
+    let dev = DeviceSpec::square(6, 2, 2);
+    let n = data_width(dev);
+    check("vqe_6x6_2x2", dev, &programs::vqe(n), GOLDEN_VQE);
 }
 
 #[test]
 fn golden_bv_6x6_2x2() {
-    let dev = ChipletSpec::square(6, 2, 2);
-    let n = data_width(dev, 1);
-    check("bv_6x6_2x2", dev, 1, &programs::bv(n), GOLDEN_BV);
+    let dev = DeviceSpec::square(6, 2, 2);
+    let n = data_width(dev);
+    check("bv_6x6_2x2", dev, &programs::bv(n), GOLDEN_BV);
 }
 
 #[test]
 fn golden_random_6x6_2x2() {
-    let dev = ChipletSpec::square(6, 2, 2);
-    let n = data_width(dev, 1);
+    let dev = DeviceSpec::square(6, 2, 2);
+    let n = data_width(dev);
     check(
         "random_6x6_2x2",
         dev,
-        1,
         &programs::golden_random(n),
         GOLDEN_RANDOM,
     );
@@ -132,12 +134,11 @@ fn golden_qft_heavy_hex_8x8_2x2() {
     // carve, entrance and claim geometry the square goldens never touch.
     // Captured after the CSR routing-substrate refactor (PR 5) — it locks
     // in the kernel layer's canonical tie-breaks on irregular lattices.
-    let dev = ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 2, 2);
-    let n = data_width(dev, 1);
+    let dev = DeviceSpec::new(ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 2, 2));
+    let n = data_width(dev);
     check(
         "qft_heavyhex_8x8_2x2",
         dev,
-        1,
         &programs::qft(n),
         GOLDEN_QFT_HEAVY_HEX,
     );
@@ -147,15 +148,9 @@ fn golden_qft_heavy_hex_8x8_2x2() {
 fn golden_qft_dense_highway_7x7_1x2() {
     // A second device shape and a denser highway exercise different claim
     // geometry and entrance tables.
-    let dev = ChipletSpec::square(7, 1, 2);
-    let n = data_width(dev, 2);
-    check(
-        "qft_7x7_1x2_d2",
-        dev,
-        2,
-        &programs::qft(n),
-        GOLDEN_QFT_DENSE,
-    );
+    let dev = DeviceSpec::square(7, 1, 2).with_density(2);
+    let n = data_width(dev);
+    check("qft_7x7_1x2_d2", dev, &programs::qft(n), GOLDEN_QFT_DENSE);
 }
 
 // ---------------------------------------------------------------------------

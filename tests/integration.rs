@@ -2,23 +2,22 @@
 //! array → highway → compiled physical circuit, checked for validity and
 //! for the paper's headline behaviour (MECH beats the baseline).
 
-use mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayLayout, PhysOpKind};
+use mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
+use mech_chiplet::{ChipletSpec, CouplingStructure, PhysOpKind};
 use mech_circuit::benchmarks::{
     bernstein_vazirani, qaoa_maxcut, qft, vqe_full_entanglement, Benchmark,
 };
 
 fn compile_pair(
-    spec: ChipletSpec,
+    spec: DeviceSpec,
     program: &mech_circuit::Circuit,
 ) -> (mech::CompileResult, Metrics) {
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, 1);
+    let device = spec.cached();
     let config = CompilerConfig::default();
-    let m = MechCompiler::new(&topo, &layout, config)
+    let m = MechCompiler::new(device.clone(), config)
         .compile(program)
         .expect("mech compiles");
-    let b = BaselineCompiler::new(&topo, config)
+    let b = BaselineCompiler::new(device.topology(), config)
         .compile(program)
         .expect("baseline compiles");
     (m, Metrics::from_circuit(&b))
@@ -27,14 +26,12 @@ fn compile_pair(
 #[test]
 fn every_benchmark_compiles_on_every_structure() {
     for structure in CouplingStructure::ALL {
-        let spec = ChipletSpec::new(structure, 6, 2, 2);
-        let topo = spec.build();
-        let layout = HighwayLayout::generate(&topo, 1);
-        let n = layout.num_data_qubits().min(24);
+        let device = DeviceSpec::new(ChipletSpec::new(structure, 6, 2, 2)).cached();
+        let n = device.num_data_qubits().min(24);
         for bench in Benchmark::ALL {
             let program = bench.generate(n, 3);
             let config = CompilerConfig::default();
-            let r = MechCompiler::new(&topo, &layout, config)
+            let r = MechCompiler::new(device.clone(), config)
                 .compile(&program)
                 .unwrap_or_else(|e| panic!("{bench} on {structure}: {e}"));
             assert!(r.circuit.depth() > 0, "{bench} on {structure} empty");
@@ -44,11 +41,10 @@ fn every_benchmark_compiles_on_every_structure() {
 
 #[test]
 fn compiled_ops_respect_the_coupling_graph() {
-    let spec = ChipletSpec::square(6, 2, 2);
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, 1);
-    let program = qft(layout.num_data_qubits().min(40));
-    let r = MechCompiler::new(&topo, &layout, CompilerConfig::default())
+    let device = DeviceSpec::square(6, 2, 2).cached();
+    let topo = device.topology();
+    let program = qft(device.num_data_qubits().min(40));
+    let r = MechCompiler::new(device.clone(), CompilerConfig::default())
         .compile(&program)
         .unwrap();
     for op in r.circuit.ops() {
@@ -66,7 +62,7 @@ fn compiled_ops_respect_the_coupling_graph() {
 
 #[test]
 fn mech_beats_baseline_depth_on_qft() {
-    let (m, b) = compile_pair(ChipletSpec::square(6, 2, 2), &qft(100));
+    let (m, b) = compile_pair(DeviceSpec::square(6, 2, 2), &qft(100));
     let depth_improvement = m.metrics().depth_improvement_over(&b);
     assert!(
         depth_improvement > 0.2,
@@ -77,7 +73,7 @@ fn mech_beats_baseline_depth_on_qft() {
 
 #[test]
 fn mech_beats_baseline_depth_on_bv_by_a_lot() {
-    let (m, b) = compile_pair(ChipletSpec::square(6, 2, 2), &bernstein_vazirani(100, 5));
+    let (m, b) = compile_pair(DeviceSpec::square(6, 2, 2), &bernstein_vazirani(100, 5));
     let depth_improvement = m.metrics().depth_improvement_over(&b);
     assert!(
         depth_improvement > 0.6,
@@ -91,10 +87,8 @@ fn mech_reduces_eff_cnots_on_qaoa_at_scale() {
     // QAOA's all-commuting cost layer is the baseline's best case, so the
     // eff_CNOT win only appears beyond ~200 qubits (cf. paper Fig. 12b,
     // where the 4-chiplet point dips toward zero).
-    let spec = ChipletSpec::square(7, 2, 3);
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, 1);
-    let program = qaoa_maxcut(layout.num_data_qubits(), 1, 9);
+    let spec = DeviceSpec::square(7, 2, 3);
+    let program = qaoa_maxcut(spec.cached().num_data_qubits(), 1, 9);
     let (m, b) = compile_pair(spec, &program);
     let eff = m.metrics().eff_cnots_improvement_over(&b);
     assert!(
@@ -112,8 +106,8 @@ fn mech_reduces_eff_cnots_on_qaoa_at_scale() {
 
 #[test]
 fn improvements_grow_with_scale_on_vqe() {
-    let (m1, b1) = compile_pair(ChipletSpec::square(6, 1, 2), &vqe_full_entanglement(40, 1));
-    let (m2, b2) = compile_pair(ChipletSpec::square(6, 2, 3), &vqe_full_entanglement(120, 1));
+    let (m1, b1) = compile_pair(DeviceSpec::square(6, 1, 2), &vqe_full_entanglement(40, 1));
+    let (m2, b2) = compile_pair(DeviceSpec::square(6, 2, 3), &vqe_full_entanglement(120, 1));
     let small = m1.metrics().depth_improvement_over(&b1);
     let large = m2.metrics().depth_improvement_over(&b2);
     assert!(
@@ -124,12 +118,10 @@ fn improvements_grow_with_scale_on_vqe() {
 
 #[test]
 fn measurement_counts_cover_program_measurements() {
-    let spec = ChipletSpec::square(5, 2, 2);
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, 1);
-    let n = layout.num_data_qubits().min(30);
+    let device = DeviceSpec::square(5, 2, 2).cached();
+    let n = device.num_data_qubits().min(30);
     let program = qft(n);
-    let r = MechCompiler::new(&topo, &layout, CompilerConfig::default())
+    let r = MechCompiler::new(device, CompilerConfig::default())
         .compile(&program)
         .unwrap();
     // Program measurements plus highway protocol measurements.
@@ -138,11 +130,9 @@ fn measurement_counts_cover_program_measurements() {
 
 #[test]
 fn bv_oracle_rides_one_shuttle_at_scale() {
-    let spec = ChipletSpec::square(7, 2, 2);
-    let topo = spec.build();
-    let layout = HighwayLayout::generate(&topo, 1);
-    let program = bernstein_vazirani(layout.num_data_qubits(), 11);
-    let r = MechCompiler::new(&topo, &layout, CompilerConfig::default())
+    let device = DeviceSpec::square(7, 2, 2).cached();
+    let program = bernstein_vazirani(device.num_data_qubits(), 11);
+    let r = MechCompiler::new(device, CompilerConfig::default())
         .compile(&program)
         .unwrap();
     assert_eq!(r.shuttle_stats.shuttles, 1);
@@ -152,8 +142,8 @@ fn bv_oracle_rides_one_shuttle_at_scale() {
 #[test]
 fn sparse_cross_links_hurt_baseline_more_than_mech() {
     let program = qft(60);
-    let dense = ChipletSpec::square(7, 2, 2);
-    let sparse = ChipletSpec::square(7, 2, 2).with_cross_links_per_edge(1);
+    let dense = DeviceSpec::square(7, 2, 2);
+    let sparse = DeviceSpec::new(ChipletSpec::square(7, 2, 2).with_cross_links_per_edge(1));
     let (md, bd) = compile_pair(dense, &program);
     let (ms, bs) = compile_pair(sparse, &program);
     // Normalized depth (mech/baseline) should shrink or hold as links
@@ -168,20 +158,15 @@ fn sparse_cross_links_hurt_baseline_more_than_mech() {
 
 #[test]
 fn deeper_highway_density_reduces_depth_ratio() {
-    let topo = ChipletSpec::square(9, 1, 2).build();
-    let program_for = |layout: &HighwayLayout| qft(layout.num_data_qubits().min(80));
     let mut ratios = Vec::new();
     for density in [1u32, 2] {
-        let layout = HighwayLayout::generate(&topo, density);
-        let config = CompilerConfig {
-            highway_density: density,
-            ..CompilerConfig::default()
-        };
-        let program = program_for(&layout);
-        let m = MechCompiler::new(&topo, &layout, config)
+        let device = DeviceSpec::square(9, 1, 2).with_density(density).cached();
+        let config = CompilerConfig::default();
+        let program = qft(device.num_data_qubits().min(80));
+        let m = MechCompiler::new(device.clone(), config)
             .compile(&program)
             .unwrap();
-        let b = BaselineCompiler::new(&topo, config)
+        let b = BaselineCompiler::new(device.topology(), config)
             .compile(&program)
             .unwrap();
         ratios.push(m.metrics().depth as f64 / b.depth() as f64);

@@ -34,14 +34,14 @@ proptest! {
         gates in 20usize..120,
         d in 5u32..7,
     ) {
-        let topo = ChipletSpec::square(d, 2, 2).build();
-        let layout = HighwayLayout::generate(&topo, 1);
-        let n = layout.num_data_qubits().min(30);
+        let device = mech::DeviceSpec::square(d, 2, 2).cached();
+        let topo = device.topology();
+        let n = device.num_data_qubits().min(30);
         let program = random_circuit(n, gates, seed);
         let config = CompilerConfig::default();
 
-        let a = MechCompiler::new(&topo, &layout, config).compile(&program).unwrap();
-        let b = MechCompiler::new(&topo, &layout, config).compile(&program).unwrap();
+        let a = MechCompiler::new(device.clone(), config).compile(&program).unwrap();
+        let b = MechCompiler::new(device.clone(), config).compile(&program).unwrap();
         prop_assert_eq!(a.circuit.depth(), b.circuit.depth());
         prop_assert_eq!(a.circuit.counts(), b.circuit.counts());
 
@@ -51,7 +51,7 @@ proptest! {
             }
         }
 
-        let base = BaselineCompiler::new(&topo, config).compile(&program).unwrap();
+        let base = BaselineCompiler::new(topo, config).compile(&program).unwrap();
         prop_assert!(base.depth() >= 1);
     }
 

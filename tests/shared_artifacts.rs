@@ -1,0 +1,98 @@
+//! The artifact/session contract under concurrency: any number of
+//! [`CompileSession`]s running at once against one `Arc`-shared
+//! [`DeviceArtifacts`] bundle must produce schedules bit-identical to
+//! serial compiles — across every supported per-compile thread count —
+//! and a cache-shared bundle must compile identically to a freshly built
+//! one. Together these pin the tentpole invariant of the
+//! compilation-as-a-service split: the device tier is immutable, every
+//! mutable structure lives in the session.
+
+use std::sync::Arc;
+
+use mech::{CompilerConfig, DeviceArtifacts, DeviceSpec, MechCompiler};
+use mech_bench::programs;
+use mech_circuit::Circuit;
+
+/// The service must cope with more sessions than cores and with nested
+/// parallelism (session × planner threads).
+const CONCURRENCY: [usize; 2] = [1, 4];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn spec() -> DeviceSpec {
+    DeviceSpec::square(5, 2, 2)
+}
+
+fn mixed_programs(n: u32) -> Vec<Arc<Circuit>> {
+    vec![
+        Arc::new(programs::qft(n.min(20))),
+        Arc::new(programs::vqe(n.min(20))),
+        Arc::new(programs::qaoa(n.min(24))),
+        Arc::new(programs::rand_sparse(n.min(24))),
+    ]
+}
+
+/// Compiles `program` on `device` and renders the full op stream plus the
+/// shuttle timeline — the strongest equality we can ask of two compiles.
+fn schedule(device: &Arc<DeviceArtifacts>, program: &Circuit, threads: usize) -> String {
+    let config = CompilerConfig {
+        threads,
+        ..CompilerConfig::default()
+    };
+    let r = MechCompiler::new(Arc::clone(device), config)
+        .compile(program)
+        .expect("compiles");
+    format!("{:?}|{:?}", r.circuit.ops(), r.shuttle_trace)
+}
+
+#[test]
+fn concurrent_sessions_match_serial_goldens() {
+    let device = spec().build_artifacts();
+    let circuits = mixed_programs(device.num_data_qubits());
+    for threads in THREAD_COUNTS {
+        // Serial reference schedules, one per program.
+        let serial: Vec<String> = circuits
+            .iter()
+            .map(|p| schedule(&device, p, threads))
+            .collect();
+        for concurrency in CONCURRENCY {
+            let got: Vec<(usize, String)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..concurrency * circuits.len())
+                    .map(|i| {
+                        let which = i % circuits.len();
+                        let device = &device;
+                        let program = Arc::clone(&circuits[which]);
+                        scope.spawn(move || (which, schedule(device, &program, threads)))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (which, fp) in got {
+                assert_eq!(
+                    fp, serial[which],
+                    "program {which} diverged at concurrency={concurrency} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_bundle_compiles_identically_to_fresh_bundle() {
+    let fresh = spec().build_artifacts();
+    let cached = spec().cached();
+    assert!(
+        !Arc::ptr_eq(&fresh, &cached),
+        "build_artifacts must not consult the cache"
+    );
+    assert!(
+        Arc::ptr_eq(&cached, &spec().cached()),
+        "the cache must hand out one bundle per spec"
+    );
+    for program in mixed_programs(fresh.num_data_qubits()) {
+        assert_eq!(
+            schedule(&fresh, &program, 1),
+            schedule(&cached, &program, 1),
+            "fresh and cache-shared bundles must compile bit-identically"
+        );
+    }
+}

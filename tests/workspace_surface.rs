@@ -7,8 +7,7 @@ use std::process::Command;
 
 // Compile-time assertions: every member crate is reachable through the
 // umbrella paths documented in the README.
-use mech_repro::mech::{BaselineCompiler, CompilerConfig, MechCompiler, Metrics};
-use mech_repro::mech_chiplet::{ChipletSpec, HighwayLayout};
+use mech_repro::mech::{BaselineCompiler, CompilerConfig, DeviceSpec, MechCompiler, Metrics};
 use mech_repro::mech_circuit::benchmarks::qft;
 use mech_repro::mech_highway::ShuttleStats;
 use mech_repro::mech_router::Mapping;
@@ -18,15 +17,14 @@ use mech_repro::mech_sim::State;
 fn umbrella_reexports_are_usable() {
     // The compiler is reachable both directly and through `mech`'s own
     // re-exports of the substrate crates.
-    let topo = ChipletSpec::square(5, 1, 2).build();
-    let layout = HighwayLayout::generate(&topo, 1);
+    let device = DeviceSpec::square(5, 1, 2).cached();
     let program = qft(10);
     let config = CompilerConfig::default();
 
-    let mech = MechCompiler::new(&topo, &layout, config)
+    let mech = MechCompiler::new(device.clone(), config)
         .compile(&program)
         .expect("MECH compiles");
-    let baseline = BaselineCompiler::new(&topo, config)
+    let baseline = BaselineCompiler::new(device.topology(), config)
         .compile(&program)
         .expect("baseline compiles");
 
@@ -39,7 +37,7 @@ fn umbrella_reexports_are_usable() {
     let _: mech_repro::mech::mech_highway::ShuttleStats = mech.shuttle_stats;
 
     // The router's mapping type round-trips through the umbrella path.
-    let slots: Vec<_> = topo.qubits().take(4).collect();
+    let slots: Vec<_> = device.topology().qubits().take(4).collect();
     let mapping = Mapping::trivial(4, &slots);
     assert!(mapping.is_consistent());
 
