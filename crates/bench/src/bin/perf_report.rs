@@ -431,12 +431,17 @@ fn run_serve(args: &Args) {
         let tickets: Vec<(usize, mech_bench::serve::Ticket)> = (0..requests)
             .map(|i| {
                 let which = i % circuits.len();
-                (which, service.submit(Arc::clone(&circuits[which])))
+                (
+                    which,
+                    service
+                        .submit(Arc::clone(&circuits[which]))
+                        .expect("service accepts requests before shutdown"),
+                )
             })
             .collect();
         let outcomes: Vec<(usize, ServeOutcome)> = tickets
             .into_iter()
-            .map(|(which, t)| (which, t.wait()))
+            .map(|(which, t)| (which, t.wait().expect("serve worker stays alive")))
             .collect();
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         service.shutdown();

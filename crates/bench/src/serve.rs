@@ -2,25 +2,49 @@
 //!
 //! [`CompileService`] owns a worker pool sharing one `Arc`-shared
 //! [`DeviceArtifacts`](mech::DeviceArtifacts) bundle and a **bounded**
-//! request queue: submitters block while the queue is full, so a burst of
-//! tenants applies back-pressure instead of growing memory without bound.
-//! Each worker runs an independent
+//! request queue: submitters block while the queue is full (or use
+//! [`CompileService::try_submit`] for a non-blocking [`ServeError::QueueFull`]),
+//! so a burst of tenants applies back-pressure instead of growing memory
+//! without bound. Each worker runs an independent
 //! [`CompileSession`](mech::CompileSession) per request against the shared
 //! device tier — compilation is deterministic, so a served schedule is
 //! bit-identical to a direct [`MechCompiler::compile`] call.
+//!
+//! # Failure domains (DESIGN.md §12)
+//!
+//! The service is panic-free by construction (this file denies
+//! `unwrap`/`expect`) and isolates the compiler's failure domains:
+//!
+//! * a panicking compile is caught per request (`catch_unwind`) and comes
+//!   back as [`CompileError::Internal`]; the worker survives, and even a
+//!   panic escaping the request scope only restarts the worker loop;
+//! * per-request deadlines ([`Request::with_deadline`]) bound queue +
+//!   compile time, and a request whose deadline expired while still queued
+//!   is *shed* without compiling;
+//! * a cancelled [`CancelToken`] sheds a queued request and aborts a
+//!   running one between rounds (and mid-search, via the kernels);
+//! * [`ServiceStats`] reconciles every submitted request exactly once:
+//!   `submitted = served + shed + failed`.
 //!
 //! Workers compile with `threads = threads_per_worker` (default 1): under
 //! concurrent load the pool itself is the parallelism, subsuming the
 //! per-compile planner threads — the same OS threads do the planning work
 //! for every request.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mech::{CompileError, CompileResult, CompilerConfig, DeviceArtifacts, MechCompiler};
+use mech::{
+    CancelToken, CompileBudget, CompileError, CompileResult, CompilerConfig, DeviceArtifacts,
+    MechCompiler,
+};
 use mech_circuit::Circuit;
 
 /// Tuning of a [`CompileService`].
@@ -44,6 +68,99 @@ impl Default for ServeOptions {
     }
 }
 
+/// Errors from the *service* layer, as opposed to [`CompileError`]s from
+/// the compiler: how a request can fail without a compile outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The service shut down (or began shutting down) before the request
+    /// was accepted.
+    Closed,
+    /// `try_submit` found the queue full (blocking `submit` would wait).
+    QueueFull,
+    /// The serving worker was lost mid-request (it restarted after a
+    /// catastrophic panic); the request was consumed but produced no
+    /// outcome.
+    WorkerLost,
+    /// `wait_timeout` elapsed before the request completed; the ticket
+    /// remains valid and can be waited on again.
+    Timeout,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Closed => f.write_str("service is shut down"),
+            ServeError::QueueFull => f.write_str("request queue is full"),
+            ServeError::WorkerLost => f.write_str("serving worker was lost mid-request"),
+            ServeError::Timeout => f.write_str("timed out waiting for the outcome"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One compile request with its robustness envelope.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use mech_bench::serve::Request;
+/// use mech_circuit::Circuit;
+///
+/// let request = Request::new(Arc::new(Circuit::new(4)))
+///     .with_deadline(Duration::from_secs(5))
+///     .with_retry_internal(true);
+/// assert!(request.deadline.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The circuit to compile.
+    pub circuit: Arc<Circuit>,
+    /// Budget for queue time + compile time, measured from submit. Expires
+    /// queued requests (shed without compiling) as well as running ones.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: cancelling sheds the request if it is
+    /// still queued and aborts the compile between rounds otherwise.
+    pub cancel: CancelToken,
+    /// Retry the compile once (same worker) if it fails with
+    /// [`CompileError::Internal`] — i.e. after a caught panic. Off by
+    /// default: a deterministic compiler panics deterministically, so the
+    /// retry only helps when the fault was environmental.
+    pub retry_internal: bool,
+}
+
+impl Request {
+    /// A request with no deadline, no cancellation, no retry.
+    pub fn new(circuit: Arc<Circuit>) -> Self {
+        Request {
+            circuit,
+            deadline: None,
+            cancel: CancelToken::new(),
+            retry_internal: false,
+        }
+    }
+
+    /// Bounds queue + compile time, measured from submit.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a caller-held cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Sets the one-shot retry policy for `Internal` failures.
+    pub fn with_retry_internal(mut self, retry: bool) -> Self {
+        self.retry_internal = retry;
+        self
+    }
+}
+
 /// What one served request experienced, end to end.
 #[derive(Debug)]
 pub struct ServeOutcome {
@@ -52,33 +169,106 @@ pub struct ServeOutcome {
     pub result: Result<CompileResult, CompileError>,
     /// Milliseconds spent queued before a worker picked the request up.
     pub queued_ms: f64,
-    /// Milliseconds spent compiling.
+    /// Milliseconds spent compiling (0 for shed requests).
     pub compile_ms: f64,
     /// Milliseconds from submit to completion (queue + compile).
     pub total_ms: f64,
-    /// Index of the worker that served the request.
+    /// Index of the worker that served (or shed) the request.
     pub worker: usize,
+    /// `true` when the request was shed without compiling: its deadline
+    /// expired or its token was cancelled while it was still queued.
+    pub shed: bool,
+    /// `true` when the compile was retried after an `Internal` failure
+    /// (the result is the retry's).
+    pub retried: bool,
 }
 
-/// Handle to one submitted request; redeem with [`Ticket::wait`].
+/// Handle to one submitted request; redeem with [`Ticket::wait`] or poll
+/// with [`Ticket::wait_timeout`].
 pub struct Ticket {
     rx: mpsc::Receiver<ServeOutcome>,
 }
 
 impl Ticket {
-    /// Blocks until the request completes.
+    /// Blocks until the request completes (served, failed, or shed — all
+    /// arrive as a [`ServeOutcome`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the serving worker died (a compiler panic — compile
-    /// *errors* come back inside [`ServeOutcome`]).
-    pub fn wait(self) -> ServeOutcome {
-        self.rx.recv().expect("serve worker dropped the request")
+    /// [`ServeError::WorkerLost`] if the serving worker was lost
+    /// mid-request (its restart dropped the reply channel).
+    pub fn wait(self) -> Result<ServeOutcome, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)
+    }
+
+    /// Like [`Ticket::wait`] with an upper bound; on
+    /// [`ServeError::Timeout`] the ticket remains valid, so callers can
+    /// poll in a loop without risking a lost outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Timeout`] if `timeout` elapsed first;
+    /// [`ServeError::WorkerLost`] as for [`Ticket::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<ServeOutcome, ServeError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => ServeError::Timeout,
+            RecvTimeoutError::Disconnected => ServeError::WorkerLost,
+        })
+    }
+}
+
+/// Monotonic service counters; a consistent snapshot reconciles
+/// `submitted = served + shed + failed` once all tickets are redeemed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests compiled to `Ok`.
+    pub served: u64,
+    /// Requests shed while queued (expired deadline or cancelled token),
+    /// never compiled.
+    pub shed: u64,
+    /// Requests whose compile returned an error (including `Internal`
+    /// after an exhausted retry).
+    pub failed: u64,
+    /// Compiles that panicked and were caught (each retry that panics
+    /// counts again).
+    pub panicked: u64,
+    /// One-shot retries attempted after `Internal` failures.
+    pub retried: u64,
+    /// Worker loops restarted after a panic escaped the per-request
+    /// isolation (0 in healthy operation: the per-request `catch_unwind`
+    /// absorbs compiler panics).
+    pub worker_restarts: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    served: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    panicked: AtomicU64,
+    retried: AtomicU64,
+    worker_restarts: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::SeqCst),
+            served: self.served.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            failed: self.failed.load(Ordering::SeqCst),
+            panicked: self.panicked.load(Ordering::SeqCst),
+            retried: self.retried.load(Ordering::SeqCst),
+            worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
+        }
     }
 }
 
 struct Job {
-    circuit: Arc<Circuit>,
+    request: Request,
     submitted: Instant,
     reply: mpsc::Sender<ServeOutcome>,
 }
@@ -95,6 +285,33 @@ struct Shared {
     /// Signals submitters: a slot freed up.
     not_full: Condvar,
     capacity: usize,
+    stats: Counters,
+}
+
+impl Shared {
+    /// Locks the queue, recovering from poison: the queue holds plain
+    /// data whose invariants hold between mutations, and the service must
+    /// keep serving even if a panicking thread died mid-lock.
+    fn lock_queue(&self) -> MutexGuard<'_, Queue> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait_not_empty<'g>(&self, guard: MutexGuard<'g, Queue>) -> MutexGuard<'g, Queue> {
+        match self.not_empty.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait_not_full<'g>(&self, guard: MutexGuard<'g, Queue>) -> MutexGuard<'g, Queue> {
+        match self.not_full.wait(guard) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
 }
 
 /// A bounded-queue worker pool compiling circuits against one shared
@@ -115,11 +332,14 @@ struct Shared {
 ///     CompilerConfig::default(),
 ///     ServeOptions { workers: 2, ..ServeOptions::default() },
 /// );
-/// let tickets: Vec<_> = (0..4).map(|_| service.submit(Arc::clone(&program))).collect();
+/// let tickets: Vec<_> = (0..4)
+///     .map(|_| service.submit(Arc::clone(&program)).unwrap())
+///     .collect();
 /// for t in tickets {
-///     assert!(t.wait().result.is_ok());
+///     assert!(t.wait().unwrap().result.is_ok());
 /// }
-/// service.shutdown();
+/// let stats = service.shutdown();
+/// assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
 /// ```
 pub struct CompileService {
     shared: Arc<Shared>,
@@ -149,6 +369,7 @@ impl CompileService {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: options.queue_capacity,
+            stats: Counters::default(),
         });
         let config = CompilerConfig {
             threads: options.threads_per_worker.max(1),
@@ -158,55 +379,125 @@ impl CompileService {
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let compiler = MechCompiler::new(Arc::clone(&device), config);
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name(format!("mech-serve-{w}"))
-                    .spawn(move || worker_loop(w, &shared, &compiler))
-                    .expect("spawn serve worker")
+                    .spawn(move || worker_supervisor(w, &shared, &compiler));
+                match spawned {
+                    Ok(handle) => handle,
+                    Err(e) => panic!("spawn serve worker: {e}"),
+                }
             })
             .collect();
         CompileService { shared, workers }
     }
 
-    /// Enqueues one request, blocking while the queue is full
-    /// (back-pressure). Returns a [`Ticket`] to wait on.
+    /// Enqueues one plain request (no deadline, no cancellation), blocking
+    /// while the queue is full (back-pressure). Returns a [`Ticket`] to
+    /// wait on.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if called after [`CompileService::shutdown`] began (no such
-    /// path exists through the public API — shutdown consumes the
-    /// service).
-    pub fn submit(&self, circuit: Arc<Circuit>) -> Ticket {
+    /// [`ServeError::Closed`] if the service has shut down.
+    pub fn submit(&self, circuit: Arc<Circuit>) -> Result<Ticket, ServeError> {
+        self.submit_request(Request::new(circuit))
+    }
+
+    /// Enqueues a [`Request`], blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] if the service has shut down.
+    pub fn submit_request(&self, request: Request) -> Result<Ticket, ServeError> {
         let (reply, rx) = mpsc::channel();
-        let mut q = self.shared.queue.lock().expect("serve queue poisoned");
+        let mut q = self.shared.lock_queue();
         while q.jobs.len() >= self.shared.capacity && !q.closed {
-            q = self.shared.not_full.wait(q).expect("serve queue poisoned");
+            q = self.shared.wait_not_full(q);
         }
-        assert!(!q.closed, "submit on a shut-down service");
+        if q.closed {
+            return Err(ServeError::Closed);
+        }
+        self.enqueue(q, request, reply);
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking submit: never waits for a queue slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when blocking `submit` would wait;
+    /// [`ServeError::Closed`] if the service has shut down.
+    pub fn try_submit(&self, circuit: Arc<Circuit>) -> Result<Ticket, ServeError> {
+        self.try_submit_request(Request::new(circuit))
+    }
+
+    /// Non-blocking [`CompileService::submit_request`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`CompileService::try_submit`].
+    pub fn try_submit_request(&self, request: Request) -> Result<Ticket, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        let q = self.shared.lock_queue();
+        if q.closed {
+            return Err(ServeError::Closed);
+        }
+        if q.jobs.len() >= self.shared.capacity {
+            return Err(ServeError::QueueFull);
+        }
+        self.enqueue(q, request, reply);
+        Ok(Ticket { rx })
+    }
+
+    fn enqueue(
+        &self,
+        mut q: MutexGuard<'_, Queue>,
+        request: Request,
+        reply: mpsc::Sender<ServeOutcome>,
+    ) {
         q.jobs.push_back(Job {
-            circuit,
+            request,
             submitted: Instant::now(),
             reply,
         });
         drop(q);
+        self.shared.stats.submitted.fetch_add(1, Ordering::SeqCst);
         self.shared.not_empty.notify_one();
-        Ticket { rx }
     }
 
-    /// Closes the queue and joins the workers. Requests already queued are
-    /// drained and served before their worker exits.
-    pub fn shutdown(mut self) {
-        self.close_and_join();
+    /// A consistent snapshot of the service counters. At shutdown (all
+    /// tickets redeemed) `submitted = served + shed + failed`; mid-flight,
+    /// `submitted` may run ahead of the outcomes.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
     }
 
-    fn close_and_join(&mut self) {
+    /// Closes the queue without joining the workers: subsequent submits
+    /// return [`ServeError::Closed`], and requests already queued are
+    /// still drained and served.
+    pub fn close(&self) {
         {
-            let mut q = self.shared.queue.lock().expect("serve queue poisoned");
+            let mut q = self.shared.lock_queue();
             q.closed = true;
         }
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
+    }
+
+    /// Closes the queue, joins the workers, and returns the final
+    /// counters. Requests already queued are drained and served before
+    /// their worker exits.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close_and_join();
+        self.shared.stats.snapshot()
+    }
+
+    fn close_and_join(&mut self) {
+        self.close();
         for handle in self.workers.drain(..) {
-            handle.join().expect("serve worker panicked");
+            // The supervisor absorbs worker panics; a join error would
+            // mean a panic in the supervisor itself — nothing to do about
+            // it at shutdown beyond not propagating.
+            let _ = handle.join();
         }
     }
 }
@@ -217,10 +508,24 @@ impl Drop for CompileService {
     }
 }
 
+/// Keeps worker `index` alive for the lifetime of the service: panics that
+/// escape the per-request isolation (they should not — `worker_loop`
+/// catches per compile) abandon the in-flight request (its `reply` sender
+/// drops, so `Ticket::wait` reports [`ServeError::WorkerLost`]) and the
+/// loop restarts on the same OS thread.
+fn worker_supervisor(index: usize, shared: &Shared, compiler: &MechCompiler) {
+    loop {
+        if catch_unwind(AssertUnwindSafe(|| worker_loop(index, shared, compiler))).is_ok() {
+            return; // clean exit: queue closed and drained
+        }
+        shared.stats.worker_restarts.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
 fn worker_loop(index: usize, shared: &Shared, compiler: &MechCompiler) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("serve queue poisoned");
+            let mut q = shared.lock_queue();
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -228,26 +533,105 @@ fn worker_loop(index: usize, shared: &Shared, compiler: &MechCompiler) {
                 if q.closed {
                     return;
                 }
-                q = shared.not_empty.wait(q).expect("serve queue poisoned");
+                q = shared.wait_not_empty(q);
             }
         };
         shared.not_full.notify_one();
-        let queued_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
-        let started = Instant::now();
-        let result = compiler.compile(&job.circuit);
-        let compile_ms = started.elapsed().as_secs_f64() * 1e3;
-        // A dropped Ticket (submitter gave up) is fine; the work is done.
+        serve_one(index, shared, compiler, job);
+    }
+}
+
+/// Serves one job end to end: shed if its envelope already expired while
+/// queued, otherwise compile under the request's budget with per-request
+/// panic isolation and the optional one-shot retry.
+fn serve_one(index: usize, shared: &Shared, compiler: &MechCompiler, job: Job) {
+    let queued_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
+    let stats = &shared.stats;
+
+    // Queue-side load shedding: a request that can no longer meet its
+    // envelope is not worth a session. `rounds: 0` marks "never compiled".
+    let deadline = job
+        .request
+        .deadline
+        .map(|d| job.submitted.checked_add(d).unwrap_or(job.submitted));
+    let shed_as = if job.request.cancel.is_cancelled() {
+        Some(CompileError::Cancelled { rounds: 0 })
+    } else if deadline.is_some_and(|d| Instant::now() >= d) {
+        Some(CompileError::DeadlineExceeded { rounds: 0 })
+    } else {
+        None
+    };
+    if let Some(err) = shed_as {
+        stats.shed.fetch_add(1, Ordering::SeqCst);
         let _ = job.reply.send(ServeOutcome {
-            result,
+            result: Err(err),
             queued_ms,
-            compile_ms,
+            compile_ms: 0.0,
             total_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
             worker: index,
+            shed: true,
+            retried: false,
         });
+        return;
+    }
+
+    let mut budget = CompileBudget::unlimited().with_cancel(job.request.cancel.clone());
+    if let Some(d) = deadline {
+        budget = budget.with_deadline(d);
+    }
+    let compile = |budget: CompileBudget| -> Result<CompileResult, CompileError> {
+        match catch_unwind(AssertUnwindSafe(|| {
+            compiler.compile_with_budget(&job.request.circuit, budget)
+        })) {
+            Ok(result) => result,
+            Err(payload) => {
+                stats.panicked.fetch_add(1, Ordering::SeqCst);
+                Err(CompileError::Internal {
+                    detail: panic_detail(payload.as_ref()),
+                })
+            }
+        }
+    };
+
+    let started = Instant::now();
+    let mut retried = false;
+    let mut result = compile(budget.clone());
+    if job.request.retry_internal && matches!(result, Err(CompileError::Internal { .. })) {
+        stats.retried.fetch_add(1, Ordering::SeqCst);
+        retried = true;
+        result = compile(budget);
+    }
+    let compile_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    match &result {
+        Ok(_) => stats.served.fetch_add(1, Ordering::SeqCst),
+        Err(_) => stats.failed.fetch_add(1, Ordering::SeqCst),
+    };
+    // A dropped Ticket (submitter gave up) is fine; the work is done.
+    let _ = job.reply.send(ServeOutcome {
+        result,
+        queued_ms,
+        compile_ms,
+        total_ms: job.submitted.elapsed().as_secs_f64() * 1e3,
+        worker: index,
+        shed: false,
+        retried,
+    });
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("compile panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("compile panicked: {s}")
+    } else {
+        "compile panicked".to_string()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::programs;
@@ -292,19 +676,25 @@ mod tests {
         let tickets: Vec<(usize, Ticket)> = (0..programs.len() * 2)
             .map(|i| {
                 let which = i % programs.len();
-                (which, service.submit(Arc::clone(&programs[which])))
+                (which, service.submit(Arc::clone(&programs[which])).unwrap())
             })
             .collect();
         for (which, ticket) in tickets {
-            let outcome = ticket.wait();
+            let outcome = ticket.wait().unwrap();
             let got = outcome.result.expect("served compile succeeds");
             let want = &direct[which];
             assert_eq!(got.circuit.ops(), want.circuit.ops(), "program {which}");
             assert_eq!(got.shuttle_trace, want.shuttle_trace);
             assert!(outcome.compile_ms > 0.0);
             assert!(outcome.total_ms >= outcome.compile_ms);
+            assert!(!outcome.shed);
         }
-        service.shutdown();
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.served, 8);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+        assert_eq!(stats.panicked, 0);
+        assert_eq!(stats.worker_restarts, 0);
     }
 
     #[test]
@@ -313,12 +703,14 @@ mod tests {
         let wide = Arc::new(Circuit::new(500));
         let service =
             CompileService::start(device, CompilerConfig::default(), ServeOptions::default());
-        let outcome = service.submit(wide).wait();
+        let outcome = service.submit(wide).unwrap().wait().unwrap();
         assert!(matches!(
             outcome.result,
             Err(CompileError::TooManyQubits { .. })
         ));
-        service.shutdown();
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
     }
 
     #[test]
@@ -327,5 +719,158 @@ mod tests {
         let service =
             CompileService::start(device, CompilerConfig::default(), ServeOptions::default());
         drop(service);
+    }
+
+    #[test]
+    fn submit_after_close_returns_closed() {
+        let device = DeviceSpec::square(4, 1, 1).build_artifacts();
+        let service =
+            CompileService::start(device, CompilerConfig::default(), ServeOptions::default());
+        service.close();
+        let circuit = Arc::new(Circuit::new(2));
+        assert_eq!(
+            service.submit(Arc::clone(&circuit)).map(|_| ()),
+            Err(ServeError::Closed)
+        );
+        assert_eq!(
+            service.try_submit(circuit).map(|_| ()),
+            Err(ServeError::Closed)
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let n = device.num_data_qubits();
+        // One worker, one slot: submit a slow job plus a queued one, and
+        // the queue is provably full until the worker frees a slot.
+        let service = CompileService::start(
+            Arc::clone(&device),
+            CompilerConfig::default(),
+            ServeOptions {
+                workers: 1,
+                queue_capacity: 1,
+                threads_per_worker: 1,
+            },
+        );
+        let slow = Arc::new(programs::qft(n.min(20)));
+        let quick = Arc::new(Circuit::new(2));
+        let mut tickets = vec![service.submit(Arc::clone(&slow)).unwrap()];
+        // Fill the single queue slot (the first job may or may not have
+        // been picked up yet, so allow one more on a race).
+        let mut full = false;
+        for _ in 0..3 {
+            match service.try_submit(Arc::clone(&quick)) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    assert_eq!(e, ServeError::QueueFull);
+                    full = true;
+                    break;
+                }
+            }
+        }
+        assert!(full, "a 1-slot queue must eventually report QueueFull");
+        for t in tickets {
+            assert!(t.wait().unwrap().result.is_ok());
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_then_succeeds() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let n = device.num_data_qubits();
+        let service = CompileService::start(
+            Arc::clone(&device),
+            CompilerConfig::default(),
+            ServeOptions {
+                workers: 1,
+                queue_capacity: 4,
+                threads_per_worker: 1,
+            },
+        );
+        let ticket = service.submit(Arc::new(programs::qft(n.min(20)))).unwrap();
+        // An instant timeout races the compile; the outcome must be either
+        // a Timeout (ticket still redeemable) or the finished outcome.
+        match ticket.wait_timeout(Duration::from_micros(1)) {
+            Err(ServeError::Timeout) => {
+                let outcome = ticket.wait_timeout(Duration::from_secs(60)).unwrap();
+                assert!(outcome.result.is_ok());
+            }
+            Ok(outcome) => assert!(outcome.result.is_ok()),
+            Err(e) => panic!("unexpected wait error: {e}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelled_queued_request_is_shed_without_compiling() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let n = device.num_data_qubits();
+        // One worker busy on a slow job; the queued request is cancelled
+        // before the worker can reach it.
+        let service = CompileService::start(
+            Arc::clone(&device),
+            CompilerConfig::default(),
+            ServeOptions {
+                workers: 1,
+                queue_capacity: 4,
+                threads_per_worker: 1,
+            },
+        );
+        let slow = service.submit(Arc::new(programs::qft(n.min(20)))).unwrap();
+        let cancel = CancelToken::new();
+        // Cancel before the worker can possibly reach the request: the
+        // shed is then deterministic regardless of scheduling.
+        cancel.cancel();
+        let queued = service
+            .submit_request(
+                Request::new(Arc::new(programs::qft(n.min(20)))).with_cancel(cancel.clone()),
+            )
+            .unwrap();
+        let outcome = queued.wait().unwrap();
+        assert!(outcome.shed, "cancelled-in-queue request must be shed");
+        assert_eq!(outcome.compile_ms, 0.0);
+        assert!(matches!(
+            outcome.result,
+            Err(CompileError::Cancelled { rounds: 0 })
+        ));
+        assert!(slow.wait().unwrap().result.is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_queued_request() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let n = device.num_data_qubits();
+        let service = CompileService::start(
+            Arc::clone(&device),
+            CompilerConfig::default(),
+            ServeOptions {
+                workers: 1,
+                queue_capacity: 4,
+                threads_per_worker: 1,
+            },
+        );
+        // Keep the only worker busy long enough for the zero deadline of
+        // the queued request to expire before pickup.
+        let slow = service.submit(Arc::new(programs::qft(n.min(20)))).unwrap();
+        let doomed = service
+            .submit_request(Request::new(Arc::new(Circuit::new(2))).with_deadline(Duration::ZERO))
+            .unwrap();
+        let outcome = doomed.wait().unwrap();
+        assert!(outcome.shed);
+        assert!(matches!(
+            outcome.result,
+            Err(CompileError::DeadlineExceeded { rounds: 0 })
+        ));
+        assert!(slow.wait().unwrap().result.is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
     }
 }

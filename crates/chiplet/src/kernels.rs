@@ -307,6 +307,12 @@ impl BfsKernel {
 /// visit, so reconstruction from the scratch is valid immediately and
 /// produces the same min-id path a plain Dijkstra would (see the
 /// equivalence argument on `reconstruct_path`).
+/// How many settles the weighted search kernels run between polls of
+/// [`RoutingScratch::cancel`]. Small enough that a cancelled request
+/// leaves any search within microseconds; large enough that the atomic
+/// load is invisible in profiles.
+const CANCEL_POLL_INTERVAL: u32 = 256;
+
 pub fn astar_route<G: RoutingGraph>(
     scratch: &mut RoutingScratch,
     g: &G,
@@ -329,8 +335,15 @@ pub fn astar_route<G: RoutingGraph>(
     // (anything with a better f), at which point the recorded costs agree
     // with a full Dijkstra's.
     let mut goal_cost: Option<u32> = None;
+    let mut polls = 0u32;
 
     while let Some(Reverse(((f, gq), q))) = scratch.heap.pop() {
+        polls += 1;
+        if polls.is_multiple_of(CANCEL_POLL_INTERVAL) && scratch.cancel.is_cancelled() {
+            // The session maps an aborted search to `Cancelled`; costs
+            // settled so far are abandoned with the whole compile.
+            return false;
+        }
         if goal_cost.is_some_and(|g_to| f > g_to) {
             break;
         }
@@ -437,6 +450,7 @@ impl DialSearch {
         to: PhysQubit,
         step: impl Fn(PhysQubit) -> Option<u32>,
     ) -> bool {
+        let mut polls = 0u32;
         loop {
             let c = scratch.cost(to);
             if c != UNREACHED && (c.0 as usize) < self.next {
@@ -448,6 +462,13 @@ impl DialSearch {
             let p = self.next;
             while let Some(q) = self.buckets[p].pop_front() {
                 self.pending -= 1;
+                polls += 1;
+                if polls.is_multiple_of(CANCEL_POLL_INTERVAL) && scratch.cancel.is_cancelled() {
+                    // Report the destination unreached; the caller's
+                    // session is aborting, so the half-drained state is
+                    // irrelevant (a fresh `begin` resets it regardless).
+                    return false;
+                }
                 let cost = scratch.cost(q);
                 if cost.0 != p as u32 {
                     continue; // superseded by a cheaper bucket

@@ -22,6 +22,7 @@
 //! ```
 
 mod cost;
+pub mod fault;
 mod highway;
 mod ids;
 mod kernels;
@@ -42,6 +43,8 @@ pub use kernels::{
 pub use pathfind::{bfs_distances, shortest_path, shortest_path_avoiding};
 pub use phys::{OpCounts, PhysCircuit, PhysOp, PhysOpKind};
 pub use render::render_layout;
-pub use scratch::{QubitSet, RoutingScratch, SearchCost, StampMap, StampSet, UNREACHED};
+pub use scratch::{
+    CancelToken, QubitSet, RoutingScratch, SearchCost, StampMap, StampSet, UNREACHED,
+};
 pub use spec::{ChipletSpec, CouplingStructure};
 pub use topology::{Link, Topology};

@@ -14,8 +14,57 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use crate::ids::PhysQubit;
+
+/// A shared cooperative cancellation flag.
+///
+/// Clones share one flag: any holder may [`CancelToken::cancel`], and the
+/// compile stack observes it at two granularities — the session checks
+/// between rounds, and the long-running search kernels ([`astar_route`],
+/// [`DialSearch`]) poll the token installed in their [`RoutingScratch`]
+/// every few hundred settles, so even a pathological intra-round search
+/// cannot outlive a cancellation by much. A cancelled kernel aborts with
+/// "unreached", which the session maps to `Cancelled` — cancellation
+/// never changes the schedule of a compile that is allowed to finish.
+///
+/// [`astar_route`]: crate::kernels::astar_route
+/// [`DialSearch`]: crate::kernels::DialSearch
+///
+/// # Example
+///
+/// ```
+/// use mech_chiplet::CancelToken;
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone observes it. Irrevocable.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once any clone has cancelled.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// A read-only membership predicate over physical qubits.
 ///
@@ -166,6 +215,9 @@ pub struct RoutingScratch {
     pub heap: BinaryHeap<Reverse<(SearchCost, PhysQubit)>>,
     /// Reusable path buffer for searches that return node sequences.
     pub path: Vec<PhysQubit>,
+    /// Cooperative cancellation observed by the search kernels running on
+    /// this workspace (default: a private token nobody cancels).
+    pub cancel: CancelToken,
 }
 
 impl RoutingScratch {

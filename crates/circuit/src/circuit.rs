@@ -275,6 +275,33 @@ impl Circuit {
         s
     }
 
+    /// Re-checks every gate's operands against the circuit width.
+    ///
+    /// [`Circuit::push`] validates eagerly, but [`Extend`] (and direct
+    /// construction of gate vectors) does not — compilers call this at the
+    /// session boundary so a hand-built circuit surfaces a structured
+    /// error instead of panicking mid-compile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CircuitError::QubitOutOfRange`] or
+    /// [`CircuitError::DuplicateOperand`] in program order.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        for g in &self.gates {
+            match *g {
+                Gate::One { q, .. } | Gate::Measure { q } => self.check(q)?,
+                Gate::Two { a, b, .. } => {
+                    self.check(a)?;
+                    self.check(b)?;
+                    if a == b {
+                        return Err(CircuitError::DuplicateOperand { qubit: a });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Iterates over gates together with their [`GateId`](crate::GateId)s
     /// (positions in program order).
     pub fn iter(&self) -> impl Iterator<Item = (crate::GateId, &Gate)> {
@@ -371,6 +398,37 @@ mod tests {
         c.cnot(Qubit(0), Qubit(1)).unwrap();
         let ids: Vec<u32> = c.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn validate_catches_unchecked_extend() {
+        let mut c = Circuit::new(2);
+        c.cnot(Qubit(0), Qubit(1)).unwrap();
+        assert_eq!(c.validate(), Ok(()));
+        c.extend([Gate::Two {
+            kind: TwoQubitKind::Cnot,
+            a: Qubit(0),
+            b: Qubit(7),
+            angle: 0.0,
+        }]);
+        assert_eq!(
+            c.validate(),
+            Err(CircuitError::QubitOutOfRange {
+                qubit: Qubit(7),
+                num_qubits: 2
+            })
+        );
+        let mut dup = Circuit::new(3);
+        dup.extend([Gate::Two {
+            kind: TwoQubitKind::Cz,
+            a: Qubit(2),
+            b: Qubit(2),
+            angle: 0.0,
+        }]);
+        assert_eq!(
+            dup.validate(),
+            Err(CircuitError::DuplicateOperand { qubit: Qubit(2) })
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use mech_chiplet::fault::{self, FaultSite};
 use mech_chiplet::{ChipletId, PhysCircuit, QubitSet, StampSet};
 use mech_circuit::{
     AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId, GroupKind,
@@ -48,7 +49,7 @@ use mech_highway::{
 };
 use mech_router::{LocalRouter, Mapping, RoutePlan};
 
-use crate::config::CompilerConfig;
+use crate::config::{BudgetExceeded, CompileBudget, CompilerConfig};
 use crate::device::DeviceArtifacts;
 use crate::error::CompileError;
 use crate::metrics::Metrics;
@@ -143,12 +144,36 @@ impl MechCompiler {
     ///
     /// # Errors
     ///
+    /// [`CompileError::InvalidCircuit`] if the circuit is malformed;
     /// [`CompileError::TooManyQubits`] if the program is wider than the
     /// data region; [`CompileError::Routing`] if the data region is
     /// disconnected (a layout bug).
     pub fn compile(&self, circuit: &Circuit) -> Result<CompileResult, CompileError> {
+        self.compile_with_budget(circuit, CompileBudget::unlimited())
+    }
+
+    /// Like [`MechCompiler::compile`], but bounded by `budget`: the session
+    /// checks the wall-clock deadline, round cap and cancellation token
+    /// between rounds, and the routing kernels poll the token inside long
+    /// searches.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MechCompiler::compile`] returns, plus
+    /// [`CompileError::DeadlineExceeded`] and [`CompileError::Cancelled`]
+    /// when the budget runs out.
+    pub fn compile_with_budget(
+        &self,
+        circuit: &Circuit,
+        budget: CompileBudget,
+    ) -> Result<CompileResult, CompileError> {
+        // Validate before the DAG build: the DAG indexes by operand and
+        // would panic on a malformed hand-built circuit.
+        circuit.validate()?;
         let dag = CommutationDag::new(circuit);
-        CompileSession::new(&self.device, self.config, circuit, &dag)?.run()
+        let mut session = CompileSession::new(&self.device, self.config, circuit, &dag)?;
+        session.set_budget(budget);
+        session.run()
     }
 }
 
@@ -210,6 +235,12 @@ pub struct CompileSession<'a> {
     chiplet_slot: Vec<Option<usize>>,
     /// Total routes planned by workers over the session (diagnostic).
     planned_routes: u64,
+    /// Deadline, round cap and cancellation (default: unlimited).
+    budget: CompileBudget,
+    /// Completed scheduling rounds (the budget's deterministic time unit).
+    rounds: u64,
+    /// Consecutive rounds with zero schedule progress (watchdog state).
+    stall_rounds: u32,
 }
 
 /// One regular-phase planner worker: routes the gates of its assigned
@@ -262,6 +293,13 @@ impl PlannerSlot<'_> {
 /// spawn; below this the spawn overhead outweighs the searches saved.
 const PLAN_MIN_GATES: usize = 16;
 
+/// Consecutive zero-progress rounds before the watchdog surfaces
+/// [`CompileError::Stalled`]. On valid input the forced-progress fallback
+/// commits a gate every round the shuttle is closed, so a healthy session
+/// never accumulates more than one; the margin only delays the inevitable
+/// on a genuinely wedged session by a few cheap no-op rounds.
+pub const STALL_ROUND_LIMIT: u32 = 16;
+
 impl<'a> CompileSession<'a> {
     /// Creates the per-request state for compiling `circuit` against
     /// `device`: trivial mapping, empty shuttle (occupancy pre-seeded from
@@ -270,14 +308,16 @@ impl<'a> CompileSession<'a> {
     ///
     /// # Errors
     ///
-    /// [`CompileError::TooManyQubits`] if the program is wider than the
-    /// device's data region.
+    /// [`CompileError::InvalidCircuit`] if the circuit is malformed
+    /// (out-of-range or duplicate operands); [`CompileError::TooManyQubits`]
+    /// if the program is wider than the device's data region.
     pub fn new(
         device: &'a DeviceArtifacts,
         config: CompilerConfig,
         circuit: &'a Circuit,
         dag: &'a CommutationDag,
     ) -> Result<Self, CompileError> {
+        circuit.validate()?;
         let topo = device.topology();
         let layout = device.layout();
         let data = layout.data_qubits();
@@ -332,7 +372,50 @@ impl<'a> CompileSession<'a> {
             plan_pool: Vec::new(),
             chiplet_slot: vec![None; topo.num_chiplets() as usize],
             planned_routes: 0,
+            budget: CompileBudget::unlimited(),
+            rounds: 0,
+            stall_rounds: 0,
         })
+    }
+
+    /// Installs a compile budget. The cancellation token is shared down to
+    /// the routing kernels (router, claim engine, planner workers) so a
+    /// cancel aborts even mid-search; the deadline and round cap are
+    /// checked between rounds.
+    pub fn set_budget(&mut self, budget: CompileBudget) {
+        let cancel = budget.cancel.clone();
+        self.router.set_cancel(cancel.clone());
+        self.shuttle.occupancy.set_cancel(cancel.clone());
+        for slot in &mut self.planners {
+            slot.router.set_cancel(cancel.clone());
+        }
+        self.budget = budget;
+    }
+
+    /// Maps a between-rounds budget violation onto the error taxonomy.
+    fn check_budget(&self) -> Result<(), CompileError> {
+        match self.budget.check(self.rounds) {
+            Ok(()) => Ok(()),
+            Err(BudgetExceeded::Cancelled) => Err(CompileError::Cancelled {
+                rounds: self.rounds,
+            }),
+            Err(BudgetExceeded::Deadline) => Err(CompileError::DeadlineExceeded {
+                rounds: self.rounds,
+            }),
+        }
+    }
+
+    /// Rewrites an in-round failure as `Cancelled` when the token is set:
+    /// a cancelled routing kernel aborts its search as "unreachable", and
+    /// the caller should see the cancellation, not the artifact.
+    fn fail(&self, e: CompileError) -> CompileError {
+        if self.budget.cancel.is_cancelled() {
+            CompileError::Cancelled {
+                rounds: self.rounds,
+            }
+        } else {
+            e
+        }
     }
 
     /// Runs the session to completion, consuming it.
@@ -340,22 +423,48 @@ impl<'a> CompileSession<'a> {
     /// # Errors
     ///
     /// [`CompileError::Routing`] if the data region is disconnected (a
-    /// layout bug).
+    /// layout bug); [`CompileError::DeadlineExceeded`] /
+    /// [`CompileError::Cancelled`] when the budget installed by
+    /// [`CompileSession::set_budget`] runs out (checked between rounds, so
+    /// the observation latency is one round); [`CompileError::Stalled`]
+    /// when the progress watchdog sees [`STALL_ROUND_LIMIT`] consecutive
+    /// rounds of zero schedule progress — a structured error in place of a
+    /// livelock.
     pub fn run(mut self) -> Result<CompileResult, CompileError> {
         let device = self.device;
         while !self.sched.is_finished() {
-            let progressed = self.round_pass()?;
-            if progressed {
-                continue;
-            }
-            if self.shuttle.is_open() {
-                self.shuttle.close(&mut self.pc, device.topology());
-                for id in self.pending_close.drain(..) {
-                    self.pending[id.index()] = false;
-                    self.sched.complete(id);
+            self.check_budget()?;
+            let mut productive = match self.round_pass() {
+                Ok(p) => p,
+                Err(e) => return Err(self.fail(e)),
+            };
+            if !productive {
+                if self.shuttle.is_open() {
+                    // Closing retires the in-flight components, which
+                    // unblocks their DAG successors next round.
+                    self.shuttle.close(&mut self.pc, device.topology());
+                    for id in self.pending_close.drain(..) {
+                        self.pending[id.index()] = false;
+                        self.sched.complete(id);
+                    }
+                    productive = true;
+                } else {
+                    productive = match self.force_one_gate() {
+                        Ok(p) => p,
+                        Err(e) => return Err(self.fail(e)),
+                    };
                 }
+            }
+            self.rounds += 1;
+            if productive {
+                self.stall_rounds = 0;
             } else {
-                self.force_one_gate()?;
+                self.stall_rounds += 1;
+                if self.stall_rounds >= STALL_ROUND_LIMIT {
+                    return Err(CompileError::Stalled {
+                        rounds: self.rounds,
+                    });
+                }
             }
         }
 
@@ -468,6 +577,9 @@ impl<'a> CompileSession<'a> {
                 || pinned.contains_qubit(self.mapping.phys(b))
             {
                 continue;
+            }
+            if fault::trip(FaultSite::PlannerCommit) {
+                continue; // injected commit failure: the gate stays ready
             }
             let result = match self.plans.get_mut(i).and_then(Option::take) {
                 Some(plan) => {
@@ -603,18 +715,29 @@ impl<'a> CompileSession<'a> {
     }
 
     /// Guaranteed-progress fallback: executes the first ready two-qubit
-    /// gate as a regular gate with the shuttle closed.
-    fn force_one_gate(&mut self) -> Result<(), CompileError> {
+    /// gate as a regular gate with the shuttle closed. Returns whether a
+    /// gate was committed (`false` only under injected commit faults); an
+    /// unfinished schedule with no ready gate is a scheduler invariant
+    /// violation, surfaced as [`CompileError::Stalled`] instead of a
+    /// panic.
+    fn force_one_gate(&mut self) -> Result<bool, CompileError> {
         debug_assert!(!self.shuttle.is_open());
         debug_assert!(
             self.sched.ready_one_qubit().next().is_none(),
             "phase A drains the one-qubit front"
         );
-        let id = self
+        let Some(id) = self
             .sched
             .ready_two_qubit()
             .find(|id| !self.pending[id.index()])
-            .expect("unfinished schedule has a ready gate");
+        else {
+            return Err(CompileError::Stalled {
+                rounds: self.rounds,
+            });
+        };
+        if fault::trip(FaultSite::PlannerCommit) {
+            return Ok(false); // injected commit failure: the gate stays ready
+        }
         let Gate::Two { a, b, .. } = self.circuit.gates()[id.index()] else {
             unreachable!("the two-qubit front only holds two-qubit gates");
         };
@@ -622,7 +745,7 @@ impl<'a> CompileSession<'a> {
             .execute_two_qubit(&mut self.pc, &mut self.mapping, a, b, &HashSet::new())?;
         self.sched.complete(id);
         self.regular_gates += 1;
-        Ok(())
+        Ok(true)
     }
 
     /// Attempts to execute a multi-target gate on the highway. Returns the
@@ -730,6 +853,12 @@ impl<'a> CompileSession<'a> {
         }
 
         if self.chosen.is_empty() {
+            self.shuttle.occupancy.release(gid);
+            return Vec::new();
+        }
+        if fault::trip(FaultSite::GhzPrep) {
+            // Injected preparation failure: abandon the group before any
+            // physical op is emitted — claims release, gates stay ready.
             self.shuttle.occupancy.release(gid);
             return Vec::new();
         }

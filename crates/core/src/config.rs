@@ -1,4 +1,6 @@
-use mech_chiplet::CostModel;
+use std::time::{Duration, Instant};
+
+use mech_chiplet::{CancelToken, CostModel};
 use mech_router::SabreConfig;
 
 /// How GHZ states are prepared on claimed highway paths.
@@ -56,6 +58,106 @@ pub struct CompilerConfig {
     pub sabre: SabreConfig,
 }
 
+/// Why a budget check failed (maps onto
+/// [`CompileError`](crate::CompileError) variants in the session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed or the round cap was reached.
+    Deadline,
+    /// The shared [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// Bounds on a single compilation: wall-clock deadline, round cap, and a
+/// shared cancellation token.
+///
+/// The default budget is unlimited — checking it never fails, and the
+/// compiled schedule is bit-identical to a build without budget checks.
+/// `CompileSession::run` consults the budget between rounds, so the
+/// latency to observe a deadline or cancellation is one round (sub-second
+/// on the evaluated devices).
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use mech::CompileBudget;
+///
+/// let budget = CompileBudget::unlimited()
+///     .with_timeout(Duration::from_secs(30))
+///     .with_max_rounds(10_000);
+/// assert!(budget.check(0).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompileBudget {
+    /// Absolute wall-clock deadline; `None` = no deadline.
+    pub deadline: Option<Instant>,
+    /// Maximum scheduling rounds; `None` = unlimited. Rounds are the
+    /// deterministic time unit — a round cap gives reproducible budget
+    /// errors where wall-clock deadlines cannot.
+    pub max_rounds: Option<u64>,
+    /// Cooperative cancellation, shared with the caller. Cloning the
+    /// budget shares the token.
+    pub cancel: CancelToken,
+}
+
+impl CompileBudget {
+    /// A budget with no limits (the default).
+    pub fn unlimited() -> Self {
+        CompileBudget::default()
+    }
+
+    /// Sets an absolute wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the deadline to `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        let now = Instant::now();
+        self.with_deadline(now.checked_add(timeout).unwrap_or(now))
+    }
+
+    /// Caps the number of scheduling rounds.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Attaches a caller-held cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// `true` when the budget can never fail a check (no deadline, no
+    /// round cap — the token may still cancel later).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_rounds.is_none()
+    }
+
+    /// Checks the budget after `rounds` completed rounds. Cancellation
+    /// wins ties: a cancelled token reports [`BudgetExceeded::Cancelled`]
+    /// even when the deadline has also passed.
+    pub fn check(&self, rounds: u64) -> Result<(), BudgetExceeded> {
+        if self.cancel.is_cancelled() {
+            return Err(BudgetExceeded::Cancelled);
+        }
+        if let Some(max) = self.max_rounds {
+            if rounds >= max {
+                return Err(BudgetExceeded::Deadline);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(BudgetExceeded::Deadline);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The `MECH_THREADS` environment override for [`CompilerConfig::threads`]
 /// (ignored unless it parses to ≥ 1).
 fn threads_from_env() -> usize {
@@ -88,5 +190,35 @@ mod tests {
         assert!(c.min_components >= 2);
         assert!(c.threads >= 1);
         assert_eq!(c.cost, CostModel::default());
+    }
+
+    #[test]
+    fn unlimited_budget_never_fails() {
+        let b = CompileBudget::unlimited();
+        assert!(b.is_unlimited());
+        assert!(b.check(0).is_ok());
+        assert!(b.check(u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn round_cap_fires_deterministically() {
+        let b = CompileBudget::unlimited().with_max_rounds(3);
+        assert!(b.check(2).is_ok());
+        assert_eq!(b.check(3), Err(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let b = CompileBudget::unlimited().with_deadline(Instant::now());
+        assert_eq!(b.check(0), Err(BudgetExceeded::Deadline));
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let b = CompileBudget::unlimited()
+            .with_deadline(Instant::now())
+            .with_max_rounds(0);
+        b.cancel.cancel();
+        assert_eq!(b.check(0), Err(BudgetExceeded::Cancelled));
     }
 }

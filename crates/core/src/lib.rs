@@ -53,8 +53,8 @@ pub mod fidelity;
 mod metrics;
 
 pub use baseline::BaselineCompiler;
-pub use compiler::{CompileResult, CompileSession, MechCompiler};
-pub use config::{CompilerConfig, GhzStyle};
+pub use compiler::{CompileResult, CompileSession, MechCompiler, STALL_ROUND_LIMIT};
+pub use config::{BudgetExceeded, CompileBudget, CompilerConfig, GhzStyle};
 pub use device::{
     DeviceArtifacts, DeviceCache, DeviceSpec, DEFAULT_ENTRANCE_CANDIDATES, DEFAULT_HIGHWAY_DENSITY,
 };
@@ -70,6 +70,6 @@ pub use mech_router;
 
 // The most common types, re-exported flat for convenience.
 pub use mech_chiplet::{
-    ChipletSpec, CostModel, CouplingStructure, HighwayLayout, PhysCircuit, Topology,
+    CancelToken, ChipletSpec, CostModel, CouplingStructure, HighwayLayout, PhysCircuit, Topology,
 };
 pub use mech_circuit::{benchmarks, Circuit, Qubit};

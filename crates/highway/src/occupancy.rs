@@ -18,7 +18,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use mech_chiplet::{DialSearch, HighwayLayout, PhysQubit, RoutingScratch};
+use mech_chiplet::fault::{self, FaultSite};
+use mech_chiplet::{CancelToken, DialSearch, HighwayLayout, PhysQubit, RoutingScratch};
 
 use crate::connectivity::ConnectivityIndex;
 use crate::skeleton::HighwaySkeleton;
@@ -173,6 +174,14 @@ impl HighwayOccupancy {
         occ
     }
 
+    /// Shares a cancellation token with the claim-search kernel: a
+    /// cancelled token makes in-flight searches abort as unreachable (the
+    /// candidate fails like a congested one), so the session can surface
+    /// `Cancelled` without finishing the search.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.scratch.cancel = cancel;
+    }
+
     /// The gate currently occupying `q`, if any.
     pub fn owner(&self, q: PhysQubit) -> Option<GroupId> {
         self.owner[q.index()]
@@ -290,6 +299,11 @@ impl HighwayOccupancy {
             if !layout.is_highway(q) {
                 return Err(RouteError::NotHighway { qubit: q });
             }
+        }
+        if fault::trip(FaultSite::ClaimEngine) {
+            // Injected claim failure: fails like an ordinarily congested
+            // candidate, with no occupancy state change.
+            return Err(RouteError::Congested);
         }
         if !self.available_for(from, g) || !self.available_for(to, g) {
             self.skips += 1;

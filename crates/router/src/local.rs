@@ -19,8 +19,10 @@
 
 use std::fmt;
 
+use mech_chiplet::fault::{self, FaultSite};
 use mech_chiplet::{
-    astar_route, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, RoutingScratch, Topology,
+    astar_route, CancelToken, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, RoutingScratch,
+    Topology,
 };
 
 use crate::mapping::Mapping;
@@ -162,6 +164,13 @@ impl<'a> LocalRouter<'a> {
         }
     }
 
+    /// Shares a cancellation token with the routing kernel: a cancelled
+    /// token makes in-flight searches abort as unreachable, so the session
+    /// can surface `Cancelled` instead of finishing the search.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.scratch.cancel = cancel;
+    }
+
     /// A* over all unpinned positions with node weights reflecting SWAP
     /// cost: stepping onto a data qubit costs 1 swap; stepping onto an
     /// idle highway qubit costs 2 (the forward swap plus the restoring
@@ -181,6 +190,11 @@ impl<'a> LocalRouter<'a> {
         let layout = self.layout;
         let scratch = &mut self.scratch;
         scratch.path.clear();
+        if fault::trip(FaultSite::LocalRouter) {
+            // Injected pathfinding failure: the pair reports its natural
+            // error (retryable while a shuttle is open).
+            return Err(RoutingError::Disconnected { from, to });
+        }
         if from == to {
             scratch.path.push(from);
             return Ok(());
