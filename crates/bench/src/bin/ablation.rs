@@ -37,7 +37,7 @@ fn main() {
             ..CompilerConfig::default()
         };
         for bench in [Benchmark::Qft, Benchmark::Qaoa] {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             if args.csv {
                 println!(
                     "{min},{bench},{:.4},{:.4}",
@@ -74,7 +74,7 @@ fn main() {
             ..CompilerConfig::default()
         };
         for bench in [Benchmark::Qft, Benchmark::Bv] {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             if args.csv {
                 println!(
                     "{name},{bench},{},{},{:.4}",
@@ -107,7 +107,12 @@ fn main() {
     for &k in &[1usize, 2, 4, 8] {
         let config = CompilerConfig::default();
         for bench in [Benchmark::Qft, Benchmark::Qaoa] {
-            let o = run_cell(spec.with_entrance_candidates(k), bench, 2024, config);
+            let o = run_cell(
+                spec.clone().with_entrance_candidates(k),
+                bench,
+                2024,
+                config,
+            );
             if args.csv {
                 println!(
                     "{k},{bench},{:.4},{:.4}",

@@ -28,7 +28,7 @@ fn main() {
     for &(r, c) in arrays {
         let spec = DeviceSpec::square(7, r, c);
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             if args.csv {
                 println!(
                     "{},{}-{},{:.4},{:.4}",

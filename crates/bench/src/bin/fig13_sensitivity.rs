@@ -62,7 +62,7 @@ fn main() {
             ..CompilerConfig::default()
         };
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             if args.csv {
                 println!("{lat},{bench},{:.4}", o.depth_improvement());
             } else {
@@ -80,7 +80,7 @@ fn main() {
     let config = CompilerConfig::default();
     let outcomes: Vec<RunOutcome> = Benchmark::ALL
         .iter()
-        .map(|&b| run_cell(spec, b, 2024, config))
+        .map(|&b| run_cell(spec.clone(), b, 2024, config))
         .collect();
 
     // (b) Measurement error-rate ratio sweep: eff_CNOTs improvement.

@@ -27,7 +27,7 @@ fn main() {
         let (rows, cols) = if args.quick { (2, 2) } else { (3, 3) };
         let spec = DeviceSpec::new(ChipletSpec::square(d, rows, cols).with_cross_links_per_edge(k));
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {

@@ -30,7 +30,7 @@ fn main() {
     for &density in densities {
         let config = CompilerConfig::default();
         for bench in Benchmark::ALL {
-            let o = run_cell(spec.with_density(density), bench, 2024, config);
+            let o = run_cell(spec.clone().with_density(density), bench, 2024, config);
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {

@@ -38,7 +38,7 @@ fn main() {
     for (structure, d, rows, cols) in settings {
         let spec = DeviceSpec::new(ChipletSpec::new(structure, d, rows, cols));
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             let nd = o.mech.depth as f64 / o.baseline.depth as f64;
             let ne = o.mech.eff_cnots / o.baseline.eff_cnots;
             if args.csv {

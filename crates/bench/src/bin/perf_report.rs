@@ -11,6 +11,7 @@
 //! cargo run --release -p mech-bench --bin perf_report -- --serve \
 //!     [--quick] [--label <name>] [--serve-out <path>]
 //! cargo run --release -p mech-bench --bin perf_report -- --check [--out <path>] [--serve-out <path>]
+//! cargo run --release -p mech-bench --bin perf_report -- --degraded [--quick] [--threads <t>]
 //! ```
 //!
 //! `--quick` shrinks the device for a CI smoke run; `--label` names the run
@@ -36,6 +37,14 @@
 //! compile. Each rung appends `{label, mode, workers, cores, requests,
 //! qubits, wall_ms, compiles_per_sec, p50_ms, p99_ms}` to
 //! `BENCH_serve.json`.
+//!
+//! `--degraded` is the defect-tolerance smoke: it compiles the six timed
+//! families on the canonical degraded device fixture
+//! (`mech_bench::defects`, ≤ 2% dead qubits/links/highway nodes), audits
+//! every schedule against the dead set, and prints a MECH-only table. It
+//! appends nothing — the committed `BENCH_*.json` baselines stay pristine
+//! — and exits nonzero if any family fails to compile or any schedule
+//! touches a dead resource.
 //!
 //! `--check` runs no benchmarks: it parses the *committed*
 //! `BENCH_compile.json` and `BENCH_serve.json` and asserts the recorded
@@ -69,6 +78,7 @@ struct Args {
     threads: usize,
     check: bool,
     serve: bool,
+    degraded: bool,
 }
 
 fn parse_args() -> Args {
@@ -81,6 +91,7 @@ fn parse_args() -> Args {
         threads: CompilerConfig::default().threads,
         check: false,
         serve: false,
+        degraded: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -88,6 +99,7 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--check" => args.check = true,
             "--serve" => args.serve = true,
+            "--degraded" => args.degraded = true,
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = it.next().expect("--out needs a value"),
             "--serve-out" => args.serve_out = it.next().expect("--serve-out needs a value"),
@@ -107,8 +119,8 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!(
-                    "unknown argument {other}; supported: --quick --check --serve --label <s> \
-                     --out <path> --serve-out <path> --iters <k> --threads <t>"
+                    "unknown argument {other}; supported: --quick --check --serve --degraded \
+                     --label <s> --out <path> --serve-out <path> --iters <k> --threads <t>"
                 );
                 std::process::exit(2);
             }
@@ -271,6 +283,10 @@ fn main() {
     }
     if args.serve {
         run_serve(&args);
+        return;
+    }
+    if args.degraded {
+        run_degraded(&args);
         return;
     }
     let device = device_spec(args.quick).cached();
@@ -470,6 +486,71 @@ fn run_serve(args: &Args) {
         append_record(&args.serve_out, &record);
     }
     println!("recorded serve run {:?} in {}", args.label, args.serve_out);
+}
+
+/// `--degraded`: the defect-tolerance smoke. Compiles the six timed
+/// families on the canonical degraded fixture and audits every schedule
+/// against the dead set (see module docs). Appends no records.
+fn run_degraded(args: &Args) {
+    let spec = if args.quick {
+        mech_bench::defects::degraded_square(5, 2, 2)
+    } else {
+        mech_bench::defects::degraded_441q()
+    };
+    let device = spec.build_artifacts();
+    let defects = device.spec().defects();
+    let config = CompilerConfig {
+        threads: args.threads,
+        ..CompilerConfig::default()
+    };
+    let n = device.num_data_qubits();
+
+    println!(
+        "perf_report --degraded: {} device qubits, {} data qubits surviving, \
+         {} dead qubits, {} dead links, threads={}",
+        device.topology().num_qubits(),
+        n,
+        defects.num_dead_qubits(),
+        defects.num_dead_links(),
+        args.threads
+    );
+    println!(
+        "{:<12} {:>7} {:>8} {:>12} {:>14} {:>8}",
+        "family", "qubits", "gates", "mech ms", "mech gates/s", "audit"
+    );
+
+    for (family, gen) in TIMED_FAMILIES {
+        let program = gen(n);
+        let gates = program.len();
+        let mech = MechCompiler::new(Arc::clone(&device), config);
+        let probe = mech
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("{family} must compile on the degraded fixture: {e}"));
+        device
+            .audit(&probe.circuit)
+            .unwrap_or_else(|e| panic!("{family} schedule touches a dead resource: {e}"));
+        let ms = time_ms(args.iters, || {
+            mech.compile(&program).expect("MECH compiles");
+        });
+        let cell = Cell {
+            family,
+            compiler: "mech",
+            qubits: n,
+            gates,
+            ms,
+            claims: None,
+        };
+        println!(
+            "{:<12} {:>7} {:>8} {:>12.1} {:>14.0} {:>8}",
+            family,
+            n,
+            gates,
+            cell.ms,
+            cell.gates_per_sec(),
+            "clean"
+        );
+    }
+    println!("degraded-device smoke ok: all families compiled on surviving fabric");
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.

@@ -16,7 +16,7 @@ fn main() {
     for &d in sizes {
         let spec = DeviceSpec::square(d, 3, 3);
         for bench in Benchmark::ALL {
-            let o = run_cell(spec, bench, 2024, config);
+            let o = run_cell(spec.clone(), bench, 2024, config);
             print_row(&o, args.csv);
         }
     }

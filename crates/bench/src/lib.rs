@@ -14,6 +14,98 @@ use mech_circuit::benchmarks::Benchmark;
 
 pub mod serve;
 
+pub mod defects {
+    //! Canonical degraded-device fixtures.
+    //!
+    //! Defect-tolerance tests and the chaos CI job need to agree on what
+    //! "the degraded 441-qubit device" means, or their results stop being
+    //! comparable across PRs. This module is the single source of that
+    //! fixture: a deterministic scan of the *pristine* artifacts picks the
+    //! dead set, so the fixture never depends on a random seed and never
+    //! accidentally names a highway resource when it means a data one.
+
+    use mech::mech_chiplet::{DefectMap, LinkKind, PhysQubit};
+    use mech::DeviceSpec;
+
+    /// The paper's 441-qubit evaluation device (`square(7, 3, 3)`) with
+    /// the canonical ≤2% defect set from [`degraded_square`]: all six
+    /// timed program families must still compile on it, with schedules
+    /// touching zero dead resources.
+    pub fn degraded_441q() -> DeviceSpec {
+        degraded_square(7, 3, 3)
+    }
+
+    /// Deterministically degrades `DeviceSpec::square(d, rows, cols)` by
+    /// scanning its pristine artifacts: four spread-out dead data qubits,
+    /// one interior (non-crossroad) dead highway node, three dead on-chip
+    /// data links and one dead cross-chip seam link — well under 2% of a
+    /// 441-qubit fabric, and never the same resource twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is too small to provide the dead set (the
+    /// fixture is meant for multi-chiplet arrays).
+    pub fn degraded_square(d: u32, rows: u32, cols: u32) -> DeviceSpec {
+        let spec = DeviceSpec::square(d, rows, cols);
+        let pristine = spec.build_artifacts();
+        let topo = pristine.topology();
+        let layout = pristine.layout();
+
+        let data = layout.data_qubits();
+        assert!(data.len() >= 16, "fixture needs a real data region");
+        let dead_qubits: Vec<PhysQubit> = data
+            .iter()
+            .copied()
+            .step_by(data.len() / 4)
+            .take(4)
+            .collect();
+        let is_dead = |q: PhysQubit| dead_qubits.contains(&q);
+
+        // One interior corridor node: the corridor detours around it.
+        let nodes = layout.nodes();
+        let dead_node = nodes
+            .iter()
+            .copied()
+            .skip(nodes.len() / 2)
+            .find(|&q| !layout.crossroads().contains(&q))
+            .expect("a multi-chiplet highway has interior nodes");
+
+        // Dead links between live data qubits only: a link with a highway
+        // endpoint would double as a corridor or entrance defect, which
+        // the dead node above already covers.
+        let mut on_chip = Vec::new();
+        let mut cross = Vec::new();
+        for q in (0..topo.num_qubits()).map(PhysQubit) {
+            if layout.is_highway(q) || is_dead(q) {
+                continue;
+            }
+            for link in topo.neighbor_links(q) {
+                if q >= link.to || layout.is_highway(link.to) || is_dead(link.to) {
+                    continue;
+                }
+                match link.kind {
+                    LinkKind::OnChip => on_chip.push((q, link.to)),
+                    LinkKind::CrossChip => cross.push((q, link.to)),
+                }
+            }
+        }
+        let dead_links: Vec<(PhysQubit, PhysQubit)> = on_chip
+            .iter()
+            .step_by((on_chip.len() / 3).max(1))
+            .take(3)
+            .chain(cross.first())
+            .copied()
+            .collect();
+
+        spec.with_defects(
+            DefectMap::new()
+                .with_dead_qubits(dead_qubits)
+                .with_dead_qubit(dead_node)
+                .with_dead_links(dead_links),
+        )
+    }
+}
+
 pub mod programs {
     //! The canonical seeded benchmark programs.
     //!

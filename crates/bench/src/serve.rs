@@ -30,6 +30,18 @@
 //! concurrent load the pool itself is the parallelism, subsuming the
 //! per-compile planner threads — the same OS threads do the planning work
 //! for every request.
+//!
+//! # Calibration epochs
+//!
+//! The device bundle is *hot-swappable*: [`CompileService::reconfigure`]
+//! builds a new [`DeviceArtifacts`](mech::DeviceArtifacts) bundle off the
+//! worker pool (a detached builder thread) and installs it atomically.
+//! Every request captures the current bundle at submit time, so requests
+//! queued or in flight when the swap lands *drain on the old epoch's
+//! bundle* while new submissions land on the new one — no request ever
+//! sees a half-built device, and the old bundle is freed when its last
+//! in-flight session drops it. [`ServiceStats::epoch`] counts installed
+//! swaps.
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 use std::collections::VecDeque;
@@ -43,8 +55,10 @@ use std::time::{Duration, Instant};
 
 use mech::{
     CancelToken, CompileBudget, CompileError, CompileResult, CompilerConfig, DeviceArtifacts,
-    MechCompiler,
+    DeviceSpec, MechCompiler,
 };
+use mech_chiplet::fault::{self, FaultSite};
+use mech_chiplet::{DefectMap, LinkKind, PhysQubit};
 use mech_circuit::Circuit;
 
 /// Tuning of a [`CompileService`].
@@ -217,6 +231,24 @@ impl Ticket {
     }
 }
 
+/// Handle to one in-flight [`CompileService::reconfigure`] call.
+pub struct EpochTicket {
+    rx: mpsc::Receiver<u64>,
+}
+
+impl EpochTicket {
+    /// Blocks until the new bundle is built and installed; returns the new
+    /// epoch number.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WorkerLost`] if the builder thread died (a panicking
+    /// artifact build) before installing the epoch.
+    pub fn wait(self) -> Result<u64, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::WorkerLost)
+    }
+}
+
 /// Monotonic service counters; a consistent snapshot reconciles
 /// `submitted = served + shed + failed` once all tickets are redeemed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -240,6 +272,10 @@ pub struct ServiceStats {
     /// isolation (0 in healthy operation: the per-request `catch_unwind`
     /// absorbs compiler panics).
     pub worker_restarts: u64,
+    /// Calibration epochs installed by [`CompileService::reconfigure`]
+    /// (0 until the first swap lands; requests submitted before a swap
+    /// drain on the bundle they captured at submit time).
+    pub epoch: u64,
 }
 
 #[derive(Default)]
@@ -251,6 +287,7 @@ struct Counters {
     panicked: AtomicU64,
     retried: AtomicU64,
     worker_restarts: AtomicU64,
+    epoch: AtomicU64,
 }
 
 impl Counters {
@@ -263,12 +300,16 @@ impl Counters {
             panicked: self.panicked.load(Ordering::SeqCst),
             retried: self.retried.load(Ordering::SeqCst),
             worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
+            epoch: self.epoch.load(Ordering::SeqCst),
         }
     }
 }
 
 struct Job {
     request: Request,
+    /// The epoch's device bundle, captured at submit time: a swap landing
+    /// after submit does not retarget this request.
+    device: Arc<DeviceArtifacts>,
     submitted: Instant,
     reply: mpsc::Sender<ServeOutcome>,
 }
@@ -276,6 +317,13 @@ struct Job {
 struct Queue {
     jobs: VecDeque<Job>,
     closed: bool,
+}
+
+/// The live calibration epoch: a counter plus the device bundle new
+/// submissions compile against.
+struct Epoch {
+    number: u64,
+    device: Arc<DeviceArtifacts>,
 }
 
 struct Shared {
@@ -286,9 +334,37 @@ struct Shared {
     not_full: Condvar,
     capacity: usize,
     stats: Counters,
+    /// Per-compile configuration (threads already forced to
+    /// `threads_per_worker`); constant for the service lifetime.
+    config: CompilerConfig,
+    /// Swapped whole by [`CompileService::reconfigure`]; read (one `Arc`
+    /// clone) per submission.
+    epoch: Mutex<Epoch>,
 }
 
 impl Shared {
+    /// Locks the epoch, recovering from poison as for the queue lock.
+    fn lock_epoch(&self) -> MutexGuard<'_, Epoch> {
+        match self.epoch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The bundle a submission landing now compiles against.
+    fn current_device(&self) -> Arc<DeviceArtifacts> {
+        Arc::clone(&self.lock_epoch().device)
+    }
+
+    /// Installs a freshly built bundle as the new epoch; returns the new
+    /// epoch number.
+    fn install_device(&self, device: Arc<DeviceArtifacts>) -> u64 {
+        let mut epoch = self.lock_epoch();
+        epoch.number += 1;
+        epoch.device = device;
+        self.stats.epoch.store(epoch.number, Ordering::SeqCst);
+        epoch.number
+    }
     /// Locks the queue, recovering from poison: the queue holds plain
     /// data whose invariants hold between mutations, and the service must
     /// keep serving even if a panicking thread died mid-lock.
@@ -347,8 +423,9 @@ pub struct CompileService {
 }
 
 impl CompileService {
-    /// Spawns the worker pool. Each worker holds a clone of one
-    /// [`MechCompiler`] handle over the shared `device`.
+    /// Spawns the worker pool over `device` as calibration epoch 0. Each
+    /// request captures the current epoch's bundle at submit time and a
+    /// worker builds a cheap [`MechCompiler`] handle over it per job.
     ///
     /// # Panics
     ///
@@ -361,6 +438,10 @@ impl CompileService {
     ) -> Self {
         assert!(options.workers >= 1, "a service needs at least one worker");
         assert!(options.queue_capacity >= 1, "queue capacity must be >= 1");
+        let config = CompilerConfig {
+            threads: options.threads_per_worker.max(1),
+            ..config
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::with_capacity(options.queue_capacity),
@@ -370,18 +451,15 @@ impl CompileService {
             not_full: Condvar::new(),
             capacity: options.queue_capacity,
             stats: Counters::default(),
+            config,
+            epoch: Mutex::new(Epoch { number: 0, device }),
         });
-        let config = CompilerConfig {
-            threads: options.threads_per_worker.max(1),
-            ..config
-        };
         let workers = (0..options.workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                let compiler = MechCompiler::new(Arc::clone(&device), config);
                 let spawned = std::thread::Builder::new()
                     .name(format!("mech-serve-{w}"))
-                    .spawn(move || worker_supervisor(w, &shared, &compiler));
+                    .spawn(move || worker_supervisor(w, &shared));
                 match spawned {
                     Ok(handle) => handle,
                     Err(e) => panic!("spawn serve worker: {e}"),
@@ -389,6 +467,37 @@ impl CompileService {
             })
             .collect();
         CompileService { shared, workers }
+    }
+
+    /// Hot-swaps the device tier: builds `spec`'s artifact bundle on a
+    /// detached builder thread (the worker pool keeps serving the old
+    /// epoch meanwhile) and installs it as the new epoch. Requests queued
+    /// or in flight at the swap drain on the bundle they captured at
+    /// submit; submissions after the swap compile against the new bundle.
+    ///
+    /// Returns an [`EpochTicket`]; [`EpochTicket::wait`] blocks until the
+    /// new epoch is installed and yields its number. The swap lands even
+    /// if the ticket is dropped, and even after [`CompileService::close`]
+    /// (a closed service accepts no new submissions, so the new epoch then
+    /// only affects [`CompileService::stats`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the builder thread cannot be spawned.
+    pub fn reconfigure(&self, spec: DeviceSpec) -> EpochTicket {
+        let shared = Arc::clone(&self.shared);
+        let (tx, rx) = mpsc::channel();
+        let spawned = std::thread::Builder::new()
+            .name("mech-serve-epoch".to_string())
+            .spawn(move || {
+                let device = spec.build_artifacts();
+                let number = shared.install_device(device);
+                let _ = tx.send(number);
+            });
+        if let Err(e) = spawned {
+            panic!("spawn epoch builder: {e}");
+        }
+        EpochTicket { rx }
     }
 
     /// Enqueues one plain request (no deadline, no cancellation), blocking
@@ -456,6 +565,7 @@ impl CompileService {
     ) {
         q.jobs.push_back(Job {
             request,
+            device: self.shared.current_device(),
             submitted: Instant::now(),
             reply,
         });
@@ -513,16 +623,16 @@ impl Drop for CompileService {
 /// catches per compile) abandon the in-flight request (its `reply` sender
 /// drops, so `Ticket::wait` reports [`ServeError::WorkerLost`]) and the
 /// loop restarts on the same OS thread.
-fn worker_supervisor(index: usize, shared: &Shared, compiler: &MechCompiler) {
+fn worker_supervisor(index: usize, shared: &Shared) {
     loop {
-        if catch_unwind(AssertUnwindSafe(|| worker_loop(index, shared, compiler))).is_ok() {
+        if catch_unwind(AssertUnwindSafe(|| worker_loop(index, shared))).is_ok() {
             return; // clean exit: queue closed and drained
         }
         shared.stats.worker_restarts.fetch_add(1, Ordering::SeqCst);
     }
 }
 
-fn worker_loop(index: usize, shared: &Shared, compiler: &MechCompiler) {
+fn worker_loop(index: usize, shared: &Shared) {
     loop {
         let job = {
             let mut q = shared.lock_queue();
@@ -537,14 +647,15 @@ fn worker_loop(index: usize, shared: &Shared, compiler: &MechCompiler) {
             }
         };
         shared.not_full.notify_one();
-        serve_one(index, shared, compiler, job);
+        serve_one(index, shared, job);
     }
 }
 
 /// Serves one job end to end: shed if its envelope already expired while
-/// queued, otherwise compile under the request's budget with per-request
-/// panic isolation and the optional one-shot retry.
-fn serve_one(index: usize, shared: &Shared, compiler: &MechCompiler, job: Job) {
+/// queued, otherwise compile — against the device bundle the job captured
+/// at submit — under the request's budget with per-request panic isolation
+/// and the optional one-shot retry.
+fn serve_one(index: usize, shared: &Shared, job: Job) {
     let queued_ms = job.submitted.elapsed().as_secs_f64() * 1e3;
     let stats = &shared.stats;
 
@@ -579,8 +690,24 @@ fn serve_one(index: usize, shared: &Shared, compiler: &MechCompiler, job: Job) {
     if let Some(d) = deadline {
         budget = budget.with_deadline(d);
     }
+    let compiler = MechCompiler::new(Arc::clone(&job.device), shared.config);
+    // The `device.defect` fault site models a calibration defect landing
+    // at per-request device resolution. It only arms for requests that
+    // would actually reach the device (valid and narrow enough to place):
+    // admission failures are decided before any device resolution.
+    let resolves_device = job.request.circuit.validate().is_ok()
+        && job.request.circuit.num_qubits() <= job.device.num_data_qubits();
     let compile = |budget: CompileBudget| -> Result<CompileResult, CompileError> {
         match catch_unwind(AssertUnwindSafe(|| {
+            if resolves_device && fault::trip(FaultSite::DeviceDefect) {
+                // Error mode: compile this one request against a
+                // transiently degraded bundle (one canonical cross link
+                // flipped dead). The epoch's bundle is untouched, so the
+                // very next request compiles pristine again.
+                let degraded = degraded_bundle(&job.device);
+                return MechCompiler::new(degraded, shared.config)
+                    .compile_with_budget(&job.request.circuit, budget);
+            }
             compiler.compile_with_budget(&job.request.circuit, budget)
         })) {
             Ok(result) => result,
@@ -617,6 +744,29 @@ fn serve_one(index: usize, shared: &Shared, compiler: &MechCompiler, job: Job) {
         shed: false,
         retried,
     });
+}
+
+/// The transiently degraded bundle used by error-mode `device.defect`
+/// injections: the same spec with the first cross-chip link (scan order)
+/// flipped dead. A single redundant seam link keeps every chaos workload
+/// compilable on the surviving fabric. Devices with no cross link (single
+/// chiplet) fall back to the pristine bundle — the trip still counts, the
+/// degradation is a no-op.
+fn degraded_bundle(device: &Arc<DeviceArtifacts>) -> Arc<DeviceArtifacts> {
+    let topo = device.topology();
+    let first_cross = (0..topo.num_qubits()).map(PhysQubit).find_map(|q| {
+        topo.neighbor_links(q)
+            .find(|l| l.kind == LinkKind::CrossChip && q < l.to)
+            .map(|l| (q, l.to))
+    });
+    match first_cross {
+        Some((a, b)) => device
+            .spec()
+            .clone()
+            .with_defects(DefectMap::new().with_dead_link(a, b))
+            .build_artifacts(),
+        None => Arc::clone(device),
+    }
 }
 
 /// Best-effort text of a caught panic payload.
@@ -840,6 +990,124 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.shed, 1);
         assert_eq!(stats.served, 1);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+    }
+
+    #[test]
+    fn reconfigure_swaps_epochs_and_drains_old_epoch_tickets() {
+        let old_spec = DeviceSpec::square(5, 1, 2);
+        let device = old_spec.build_artifacts();
+        let config = CompilerConfig {
+            threads: 1,
+            ..CompilerConfig::default()
+        };
+        let n = device.num_data_qubits();
+        let program = Arc::new(programs::qft(n.min(16)));
+        let direct_old = MechCompiler::new(Arc::clone(&device), config)
+            .compile(&program)
+            .unwrap();
+
+        let service = CompileService::start(
+            Arc::clone(&device),
+            config,
+            ServeOptions {
+                workers: 2,
+                queue_capacity: 8,
+                threads_per_worker: 1,
+            },
+        );
+        assert_eq!(service.stats().epoch, 0);
+        // Submitted before the swap: these capture the old bundle, and
+        // several are still queued when the new epoch lands.
+        let old_tickets: Vec<Ticket> = (0..6)
+            .map(|_| service.submit(Arc::clone(&program)).unwrap())
+            .collect();
+
+        let new_spec = DeviceSpec::square(6, 1, 2);
+        let epoch = service.reconfigure(new_spec.clone()).wait().unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(service.stats().epoch, 1);
+
+        // Old-epoch tickets drain on the old bundle, bit-identically.
+        for t in old_tickets {
+            let got = t.wait().unwrap().result.expect("old-epoch compile");
+            assert_eq!(got.circuit.ops(), direct_old.circuit.ops());
+        }
+
+        // A submission after the swap compiles against the new bundle.
+        let direct_new = MechCompiler::new(new_spec.build_artifacts(), config)
+            .compile(&program)
+            .unwrap();
+        assert_ne!(
+            direct_old.circuit.ops(),
+            direct_new.circuit.ops(),
+            "the two epochs must be distinguishable for this test to prove anything"
+        );
+        let got = service
+            .submit(Arc::clone(&program))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .result
+            .expect("new-epoch compile");
+        assert_eq!(got.circuit.ops(), direct_new.circuit.ops());
+
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 7);
+        assert_eq!(stats.served, 7);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+        assert_eq!(stats.epoch, 1);
+    }
+
+    #[test]
+    fn reconfigure_to_a_degraded_spec_serves_on_surviving_fabric() {
+        // Flip one seam link dead via an epoch swap: the service keeps
+        // serving, and the served schedule uses no dead resource (the
+        // artifact auditor is the oracle).
+        let spec = DeviceSpec::square(5, 1, 2);
+        let service = CompileService::start(
+            spec.build_artifacts(),
+            CompilerConfig {
+                threads: 1,
+                ..CompilerConfig::default()
+            },
+            ServeOptions {
+                workers: 1,
+                queue_capacity: 4,
+                threads_per_worker: 1,
+            },
+        );
+        let pristine = spec.build_artifacts();
+        let topo = pristine.topology();
+        let (a, b) = (0..topo.num_qubits())
+            .map(PhysQubit)
+            .find_map(|q| {
+                topo.neighbor_links(q)
+                    .find(|l| l.kind == LinkKind::CrossChip && q < l.to)
+                    .map(|l| (q, l.to))
+            })
+            .unwrap();
+        let degraded_spec = spec
+            .clone()
+            .with_defects(DefectMap::new().with_dead_link(a, b));
+        let degraded = degraded_spec.build_artifacts();
+        assert!(!degraded.spec().defects().is_empty());
+        service.reconfigure(degraded_spec).wait().unwrap();
+
+        let n = degraded.num_data_qubits();
+        let program = Arc::new(programs::qft(n.min(16)));
+        let got = service
+            .submit(program)
+            .unwrap()
+            .wait()
+            .unwrap()
+            .result
+            .expect("degraded device still serves");
+        degraded
+            .audit(&got.circuit)
+            .expect("schedule avoids defects");
+        let stats = service.shutdown();
+        assert_eq!(stats.epoch, 1);
         assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
     }
 

@@ -49,15 +49,23 @@ pub enum FaultSite {
     /// fallback). Error mode skips the gate for the round — persistent
     /// injection here is how the stall watchdog is exercised.
     PlannerCommit,
+    /// The serve layer's per-request device resolution. Error mode
+    /// compiles the request against a transiently degraded device — the
+    /// spec with one canonical link flipped dead mid-epoch — instead of
+    /// the epoch's pristine bundle (the request still succeeds on the
+    /// surviving fabric; subsequent requests see the pristine device
+    /// again).
+    DeviceDefect,
 }
 
 impl FaultSite {
     /// Every site, in a fixed order (chaos suites iterate this).
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::ClaimEngine,
         FaultSite::LocalRouter,
         FaultSite::GhzPrep,
         FaultSite::PlannerCommit,
+        FaultSite::DeviceDefect,
     ];
 
     /// Stable site name used in panic messages and reports.
@@ -67,6 +75,7 @@ impl FaultSite {
             FaultSite::LocalRouter => "router.path",
             FaultSite::GhzPrep => "ghz.prep",
             FaultSite::PlannerCommit => "planner.commit",
+            FaultSite::DeviceDefect => "device.defect",
         }
     }
 
@@ -77,6 +86,7 @@ impl FaultSite {
             FaultSite::LocalRouter => 1,
             FaultSite::GhzPrep => 2,
             FaultSite::PlannerCommit => 3,
+            FaultSite::DeviceDefect => 4,
         }
     }
 }
@@ -212,7 +222,7 @@ impl FaultPlan {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultReport {
     /// Total trips per site, indexed as [`FaultSite::ALL`].
-    pub hits: [u64; 4],
+    pub hits: [u64; 5],
     /// Every injected fault, in firing order: `(site, hit number, mode)`.
     pub injected: Vec<(FaultSite, u64, FaultMode)>,
 }
@@ -357,7 +367,13 @@ mod tests {
         let names: Vec<&str> = FaultSite::ALL.iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            ["highway.claim", "router.path", "ghz.prep", "planner.commit"]
+            [
+                "highway.claim",
+                "router.path",
+                "ghz.prep",
+                "planner.commit",
+                "device.defect"
+            ]
         );
         for (i, s) in FaultSite::ALL.iter().enumerate() {
             assert_eq!(s.index(), i);

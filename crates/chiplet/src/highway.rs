@@ -16,6 +16,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::defect::DefectMap;
 use crate::ids::{ChipletId, LinkKind, PhysQubit};
 use crate::pathfind::shortest_path_avoiding;
 use crate::topology::Topology;
@@ -78,13 +79,49 @@ impl HighwayEdge {
 #[derive(Debug, Clone)]
 pub struct HighwayLayout {
     is_highway: Vec<bool>,
+    /// dead[q] = the qubit is out of service (defect-pruned layouts only;
+    /// all-false on pristine builds). Dead qubits are neither highway nor
+    /// data.
+    dead: Vec<bool>,
     nodes: Vec<PhysQubit>,
     edges: Vec<HighwayEdge>,
-    /// adj[q] = indices into `edges` incident to highway qubit q.
-    adj: Vec<Vec<u32>>,
+    /// CSR bounds over `adj_edges`: the edge indices incident to qubit `q`
+    /// live in `adj_edges[adj_starts[q]..adj_starts[q + 1]]`, ascending.
+    adj_starts: Vec<u32>,
+    /// Flat indices into `edges`, grouped by incident qubit.
+    adj_edges: Vec<u32>,
     crossroads: Vec<PhysQubit>,
     density: u32,
     num_qubits: u32,
+    /// Total dead qubits (after pruning no dead qubit is a highway node,
+    /// so this is exactly the population excluded from both `nodes` and
+    /// the data region — pre-computed so `num_data_qubits` stays O(1)).
+    num_dead_data: u32,
+}
+
+/// Flattens per-edge incidence into CSR arrays: for each qubit, the
+/// indices of `edges` touching it, ascending (edges are scanned in index
+/// order, so per-row order is insertion order — identical to the former
+/// `Vec<Vec<u32>>` push order).
+fn build_adj(n: usize, edges: &[HighwayEdge]) -> (Vec<u32>, Vec<u32>) {
+    let mut counts = vec![0u32; n + 1];
+    for e in edges {
+        counts[e.a.index() + 1] += 1;
+        counts[e.b.index() + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let adj_starts = counts.clone();
+    let mut cursor = counts;
+    let mut adj_edges = vec![0u32; adj_starts[n] as usize];
+    for (idx, e) in edges.iter().enumerate() {
+        for q in [e.a, e.b] {
+            adj_edges[cursor[q.index()] as usize] = idx as u32;
+            cursor[q.index()] += 1;
+        }
+    }
+    (adj_starts, adj_edges)
 }
 
 impl HighwayLayout {
@@ -262,23 +299,70 @@ impl HighwayLayout {
             .map(PhysQubit)
             .filter(|q| is_highway[q.index()])
             .collect();
-        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (idx, e) in edges.iter().enumerate() {
-            adj[e.a.index()].push(idx as u32);
-            adj[e.b.index()].push(idx as u32);
-        }
+        let (adj_starts, adj_edges) = build_adj(n, &edges);
         let mut crossroads: Vec<PhysQubit> = crossroad_set.into_iter().collect();
         crossroads.sort();
 
         HighwayLayout {
             is_highway,
+            dead: vec![false; n],
             nodes,
             edges,
-            adj,
+            adj_starts,
+            adj_edges,
             crossroads,
             density: m,
             num_qubits: topo.num_qubits(),
+            num_dead_data: 0,
         }
+    }
+
+    /// A copy of this layout with every resource killed by `defects`
+    /// pruned: dead qubits leave the node (or data) population, and a
+    /// corridor edge disappears when an endpoint is dead or any coupler it
+    /// rides is — `Direct`/`Cross` edges when their own link dies,
+    /// `Bridge` edges when either hop through the `via` qubit (or the via
+    /// itself) dies. Live highway nodes that lose every incident edge stay
+    /// highway nodes: they are isolated corridor stubs the claim engine's
+    /// connectivity pre-filter simply never connects to anything.
+    ///
+    /// Generation always runs on the *pristine* topology (corridor carving
+    /// assumes connected chiplet interiors); pruning is the post-pass that
+    /// applies a calibration epoch. An empty `defects` returns a plain
+    /// clone.
+    pub fn pruned(&self, defects: &DefectMap) -> HighwayLayout {
+        let mut layout = self.clone();
+        if defects.is_empty() {
+            return layout;
+        }
+        layout.edges = self
+            .edges
+            .iter()
+            .filter(|e| !match e.kind {
+                HighwayEdgeKind::Direct | HighwayEdgeKind::Cross => defects.kills_edge(e.a, e.b),
+                HighwayEdgeKind::Bridge { via } => {
+                    defects.kills_edge(e.a, via) || defects.kills_edge(via, e.b)
+                }
+            })
+            .copied()
+            .collect();
+        let n = self.num_qubits as usize;
+        let mut num_dead = 0u32;
+        for q in defects.dead_qubits() {
+            if q.index() >= n || layout.dead[q.index()] {
+                continue;
+            }
+            layout.dead[q.index()] = true;
+            layout.is_highway[q.index()] = false;
+            num_dead += 1;
+        }
+        layout.num_dead_data += num_dead;
+        layout.nodes.retain(|q| layout.is_highway[q.index()]);
+        layout.crossroads.retain(|q| layout.is_highway[q.index()]);
+        let (adj_starts, adj_edges) = build_adj(n, &layout.edges);
+        layout.adj_starts = adj_starts;
+        layout.adj_edges = adj_edges;
+        layout
     }
 
     /// `true` if `q` is an ancillary (highway) qubit.
@@ -296,9 +380,18 @@ impl HighwayLayout {
         &self.edges
     }
 
-    /// The edges incident to highway qubit `q`.
+    /// `true` if `q` is out of service (defect-pruned layouts only).
+    pub fn is_dead(&self, q: PhysQubit) -> bool {
+        self.dead[q.index()]
+    }
+
+    /// The edges incident to highway qubit `q` — one contiguous CSR slice.
     pub fn incident_edges(&self, q: PhysQubit) -> impl Iterator<Item = &HighwayEdge> {
-        self.adj[q.index()].iter().map(|&i| &self.edges[i as usize])
+        let lo = self.adj_starts[q.index()] as usize;
+        let hi = self.adj_starts[q.index() + 1] as usize;
+        self.adj_edges[lo..hi]
+            .iter()
+            .map(|&i| &self.edges[i as usize])
     }
 
     /// Highway-graph neighbors of `q`.
@@ -316,9 +409,9 @@ impl HighwayLayout {
         self.nodes.len()
     }
 
-    /// Number of data qubits (total minus highway).
+    /// Number of data qubits (total minus highway minus dead).
     pub fn num_data_qubits(&self) -> u32 {
-        self.num_qubits - self.nodes.len() as u32
+        self.num_qubits - self.nodes.len() as u32 - self.num_dead_data
     }
 
     /// Fraction of all qubits devoted to the highway.
@@ -336,11 +429,13 @@ impl HighwayLayout {
         self.density
     }
 
-    /// The data qubits (non-highway), ascending.
+    /// The data qubits (non-highway, alive), ascending. Dead qubits are
+    /// excluded, so trivial placement over this list can never seat a
+    /// logical qubit on a defect.
     pub fn data_qubits(&self) -> Vec<PhysQubit> {
         (0..self.num_qubits)
             .map(PhysQubit)
-            .filter(|q| !self.is_highway(*q))
+            .filter(|q| !self.is_highway(*q) && !self.is_dead(*q))
             .collect()
     }
 
@@ -608,6 +703,88 @@ mod tests {
         // Interleaving keeps every qubit in at most 2 bridge gates, so GHZ
         // preparation stays constant-depth.
         assert!(hw.max_bridge_load() <= 2, "load {}", hw.max_bridge_load());
+    }
+
+    #[test]
+    fn pruning_with_empty_defects_is_identity() {
+        let (_, hw) = square_hw(7, 1, 2, 1);
+        let p = hw.pruned(&DefectMap::default());
+        assert_eq!(p.nodes, hw.nodes);
+        assert_eq!(p.edges.len(), hw.edges.len());
+        assert_eq!(p.adj_starts, hw.adj_starts);
+        assert_eq!(p.adj_edges, hw.adj_edges);
+        assert_eq!(p.num_data_qubits(), hw.num_data_qubits());
+    }
+
+    #[test]
+    fn dead_highway_node_leaves_nodes_and_edges() {
+        let (_, hw) = square_hw(7, 1, 2, 1);
+        let dead = hw.nodes()[hw.nodes().len() / 2];
+        let incident = hw.incident_edges(dead).count();
+        assert!(incident > 0);
+        let p = hw.pruned(&DefectMap::new().with_dead_qubit(dead));
+        assert!(!p.is_highway(dead));
+        assert!(p.is_dead(dead));
+        assert!(!p.nodes().contains(&dead));
+        assert_eq!(p.incident_edges(dead).count(), 0);
+        assert_eq!(p.edges().len(), hw.edges().len() - incident);
+        // The dead ex-highway qubit must not resurface as a data qubit.
+        assert!(!p.data_qubits().contains(&dead));
+        assert_eq!(p.num_data_qubits(), hw.num_data_qubits());
+    }
+
+    #[test]
+    fn dead_data_qubit_shrinks_the_data_region_and_kills_bridges() {
+        let (_, hw) = square_hw(7, 1, 2, 1);
+        let via = hw
+            .edges()
+            .iter()
+            .find_map(|e| match e.kind {
+                HighwayEdgeKind::Bridge { via } => Some(via),
+                _ => None,
+            })
+            .expect("interleaving produces bridges");
+        let p = hw.pruned(&DefectMap::new().with_dead_qubit(via));
+        assert_eq!(p.num_data_qubits(), hw.num_data_qubits() - 1);
+        assert!(!p.data_qubits().contains(&via));
+        assert!(
+            !p.edges()
+                .iter()
+                .any(|e| matches!(e.kind, HighwayEdgeKind::Bridge { via: v } if v == via)),
+            "bridges through a dead via must be pruned"
+        );
+    }
+
+    #[test]
+    fn dead_link_prunes_exactly_the_edges_riding_it() {
+        let (_, hw) = square_hw(7, 2, 2, 1);
+        let cross = hw
+            .edges()
+            .iter()
+            .find(|e| matches!(e.kind, HighwayEdgeKind::Cross))
+            .copied()
+            .expect("arrays have stitch edges");
+        let p = hw.pruned(&DefectMap::new().with_dead_link(cross.a, cross.b));
+        assert_eq!(p.edges().len(), hw.edges().len() - 1);
+        assert!(p.edge_between(cross.a, cross.b).is_none());
+        // Both endpoints stay live highway nodes.
+        assert!(p.is_highway(cross.a) && p.is_highway(cross.b));
+        assert_eq!(p.nodes().len(), hw.nodes().len());
+    }
+
+    #[test]
+    fn csr_adj_matches_edge_incidence() {
+        let (_, hw) = square_hw(8, 2, 2, 2);
+        for &q in hw.nodes() {
+            let via_adj: Vec<HighwayEdge> = hw.incident_edges(q).copied().collect();
+            let via_scan: Vec<HighwayEdge> = hw
+                .edges()
+                .iter()
+                .filter(|e| e.a == q || e.b == q)
+                .copied()
+                .collect();
+            assert_eq!(via_adj, via_scan, "CSR incidence diverged at {q}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! ```
 
 mod cost;
+mod defect;
 pub mod fault;
 mod highway;
 mod ids;
@@ -35,6 +36,7 @@ mod structures;
 mod topology;
 
 pub use cost::CostModel;
+pub use defect::DefectMap;
 pub use highway::{HighwayEdge, HighwayEdgeKind, HighwayLayout};
 pub use ids::{ChipletId, LinkKind, PhysQubit};
 pub use kernels::{

@@ -1,3 +1,4 @@
+use crate::defect::DefectMap;
 use crate::ids::{ChipletId, LinkKind, PhysQubit};
 use crate::kernels::{BfsControl, BfsKernel, RoutingGraph};
 use crate::spec::{evenly_spaced, ChipletSpec};
@@ -54,9 +55,12 @@ pub struct Topology {
     /// Link kinds parallel to `neighbors`.
     kinds: Vec<LinkKind>,
     /// Row-major `num_qubits × num_qubits` hop distances (`u16::MAX` =
-    /// unreachable, which never happens for valid specs).
+    /// unreachable — which only happens on defect-masked topologies; a
+    /// pristine valid spec is always connected).
     dist: Vec<u16>,
     num_cross_links: usize,
+    /// The defects masked out of the CSR rows (empty on pristine builds).
+    defects: DefectMap,
 }
 
 impl Topology {
@@ -116,9 +120,59 @@ impl Topology {
             kinds,
             dist: Vec::new(),
             num_cross_links,
+            defects: DefectMap::default(),
         };
         topo.dist = topo.compute_all_pairs();
         topo
+    }
+
+    /// A copy of this topology with every CSR edge killed by `defects`
+    /// removed (dead qubits lose their whole row; dead links lose both
+    /// directed entries) and the all-pairs hop table recomputed over the
+    /// surviving fabric. Dead qubits keep their grid cell and index —
+    /// they exist physically — but have degree zero and hop distance
+    /// `u16::MAX` to everything, so no kernel can ever route through
+    /// them.
+    ///
+    /// An empty `defects` returns a plain clone: no row is touched and
+    /// the hop table is byte-identical.
+    pub fn masked(&self, defects: &DefectMap) -> Topology {
+        let mut topo = self.clone();
+        if defects.is_empty() {
+            return topo;
+        }
+        let n = self.num_qubits() as usize;
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(self.neighbors.len());
+        let mut kinds = Vec::with_capacity(self.kinds.len());
+        let mut num_cross_links = 0usize;
+        row_offsets.push(0u32);
+        for q in self.qubits() {
+            for link in self.neighbor_links(q) {
+                if defects.kills_edge(q, link.to) {
+                    continue;
+                }
+                neighbors.push(link.to);
+                kinds.push(link.kind);
+                if link.kind == LinkKind::CrossChip && q < link.to {
+                    num_cross_links += 1;
+                }
+            }
+            row_offsets.push(neighbors.len() as u32);
+        }
+        topo.row_offsets = row_offsets;
+        topo.neighbors = neighbors;
+        topo.kinds = kinds;
+        topo.num_cross_links = num_cross_links;
+        topo.defects = defects.clone();
+        topo.dist = topo.compute_all_pairs();
+        topo
+    }
+
+    /// The defects masked out of this topology (empty on pristine
+    /// builds).
+    pub fn defects(&self) -> &DefectMap {
+        &self.defects
     }
 
     /// All-pairs hop distances on the shared stamped-BFS kernel: one
@@ -262,16 +316,25 @@ impl Topology {
     /// per-qubit link lists in legacy insertion order. This is the *oracle*
     /// the property tests pin the CSR arrays against (degree lists,
     /// neighbor sets, BFS distances) — it shares no code with the flat
-    /// layout beyond the grid construction.
+    /// layout beyond the grid construction. On a defect-masked topology
+    /// the lists are filtered by the same edge-kill predicate the mask
+    /// applied, so the oracle stays valid for degraded devices.
     pub fn reference_adjacency(&self) -> Vec<Vec<Link>> {
-        link_lists(
+        let mut adj = link_lists(
             &self.spec,
             &self.grid,
             &self.coords,
             self.grid_rows,
             self.grid_cols,
         )
-        .0
+        .0;
+        if !self.defects.is_empty() {
+            for (idx, links) in adj.iter_mut().enumerate() {
+                let q = PhysQubit(idx as u32);
+                links.retain(|l| !self.defects.kills_edge(q, l.to));
+            }
+        }
+        adj
     }
 }
 
@@ -506,6 +569,65 @@ mod tests {
         for q in t.qubits() {
             let (gr, gc) = t.coord(q);
             assert_eq!(t.qubit_at(gr, gc), Some(q));
+        }
+    }
+
+    #[test]
+    fn masking_with_empty_defects_is_byte_identical() {
+        let t = ChipletSpec::square(5, 1, 2).build();
+        let m = t.masked(&DefectMap::default());
+        assert_eq!(m.row_offsets, t.row_offsets);
+        assert_eq!(m.neighbors, t.neighbors);
+        assert_eq!(m.kinds, t.kinds);
+        assert_eq!(m.dist, t.dist);
+        assert_eq!(m.num_cross_links(), t.num_cross_links());
+    }
+
+    #[test]
+    fn dead_qubits_lose_every_edge_and_become_unreachable() {
+        let t = ChipletSpec::square(5, 1, 2).build();
+        let dead = PhysQubit(12);
+        let m = t.masked(&DefectMap::new().with_dead_qubit(dead));
+        assert!(m.neighbors(dead).is_empty());
+        for q in m.qubits() {
+            assert!(!m.are_coupled(q, dead));
+            if q != dead {
+                assert_eq!(m.distance(q, dead), u32::from(u16::MAX));
+            }
+        }
+        // Rows of live qubits keep their other neighbors.
+        assert!(m.qubits().any(|q| !m.neighbors(q).is_empty()));
+    }
+
+    #[test]
+    fn dead_links_disappear_in_both_directions() {
+        let t = ChipletSpec::square(5, 1, 2).build();
+        let a = t.qubit_at(2, 4).unwrap();
+        let b = t.qubit_at(2, 5).unwrap();
+        assert_eq!(t.coupling(a, b), Some(LinkKind::CrossChip));
+        let m = t.masked(&DefectMap::new().with_dead_link(b, a));
+        assert_eq!(m.coupling(a, b), None);
+        assert_eq!(m.coupling(b, a), None);
+        assert_eq!(m.num_cross_links(), t.num_cross_links() - 1);
+        // The device stays connected through the other cross links.
+        assert!(m.distance(a, b) < u32::from(u16::MAX));
+        assert!(m.distance(a, b) > 1);
+    }
+
+    #[test]
+    fn masked_reference_adjacency_matches_masked_csr() {
+        let t = ChipletSpec::square(5, 2, 2).build();
+        let defects = DefectMap::new()
+            .with_dead_qubit(PhysQubit(7))
+            .with_dead_link(PhysQubit(0), PhysQubit(1))
+            .with_dead_link(PhysQubit(30), PhysQubit(31));
+        let m = t.masked(&defects);
+        let reference = m.reference_adjacency();
+        for q in m.qubits() {
+            let mut legacy: Vec<Link> = reference[q.index()].clone();
+            legacy.sort_by_key(|l| l.to);
+            let flat: Vec<Link> = m.neighbor_links(q).collect();
+            assert_eq!(flat, legacy, "masked row diverged at {q}");
         }
     }
 

@@ -429,8 +429,34 @@ impl<'a> CompileSession<'a> {
     /// the observation latency is one round); [`CompileError::Stalled`]
     /// when the progress watchdog sees [`STALL_ROUND_LIMIT`] consecutive
     /// rounds of zero schedule progress — a structured error in place of a
-    /// livelock.
-    pub fn run(mut self) -> Result<CompileResult, CompileError> {
+    /// livelock. On a *degraded* device (non-empty
+    /// [`DefectMap`](mech_chiplet::DefectMap)), routing failures and
+    /// stalls become [`CompileError::DeviceDegraded`]: on surviving fabric
+    /// they mean "unroutable here", a property of the request/device pair,
+    /// not a compiler bug.
+    pub fn run(self) -> Result<CompileResult, CompileError> {
+        let defects = self.device.spec().defects();
+        let (dead_qubits, dead_links) = (
+            defects.num_dead_qubits() as u32,
+            defects.num_dead_links() as u32,
+        );
+        match self.run_inner() {
+            Err(e @ (CompileError::Routing(_) | CompileError::Stalled { .. }))
+                if dead_qubits + dead_links > 0 =>
+            {
+                Err(CompileError::DeviceDegraded {
+                    dead_qubits,
+                    dead_links,
+                    detail: e.to_string(),
+                })
+            }
+            other => other,
+        }
+    }
+
+    /// The session loop behind [`CompileSession::run`], with the raw error
+    /// taxonomy (before degraded-device reclassification).
+    fn run_inner(mut self) -> Result<CompileResult, CompileError> {
         let device = self.device;
         while !self.sched.is_finished() {
             self.check_budget()?;

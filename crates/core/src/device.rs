@@ -11,14 +11,24 @@
 //!   per-request state: mapping, scratch pools, occupancy, fronts.
 //!
 //! [`DeviceSpec`] is the *value* that names a device (chiplet geometry +
-//! highway density + entrance-candidate limit); it is `Copy`/`Eq`/`Hash`
-//! and keys the global [`DeviceCache`] so every caller compiling against
-//! the same spec shares one artifact bundle.
+//! highway density + entrance-candidate limit + defect map); it is
+//! `Clone`/`Eq`/`Hash` and keys the global [`DeviceCache`] so every
+//! caller compiling against the same spec shares one artifact bundle.
+//!
+//! A non-empty [`DefectMap`] names a *degraded* device — a distinct cache
+//! key whose artifacts are built by masking/pruning the pristine
+//! structures (`DESIGN.md` §13): the CSR topology drops every dead edge,
+//! the highway layout drops dead corridor nodes/edges, and the entrance
+//! table and claim skeleton are rebuilt from the pruned forms. An empty
+//! map takes the pristine code paths untouched, so empty-defect builds
+//! are byte-identical to pre-defect ones.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use mech_chiplet::{ChipletSpec, CouplingStructure, HighwayLayout, Topology};
+use mech_chiplet::{
+    ChipletSpec, CouplingStructure, DefectMap, HighwayLayout, PhysCircuit, PhysOpKind, Topology,
+};
 use mech_highway::{EntranceTable, HighwaySkeleton};
 
 /// Default number of highway corridors per chiplet per direction.
@@ -26,6 +36,11 @@ pub const DEFAULT_HIGHWAY_DENSITY: u32 = 1;
 
 /// Default number of entrance candidates examined per data qubit.
 pub const DEFAULT_ENTRANCE_CANDIDATES: usize = 4;
+
+/// Default capacity bound of the global [`DeviceCache`]. Calibration
+/// churn mints a fresh spec per defect epoch; the bound keeps retired
+/// epochs from accumulating bundles forever.
+pub const DEFAULT_DEVICE_CACHE_CAPACITY: usize = 32;
 
 /// The value naming one device configuration: chiplet geometry plus the
 /// device-shaped compiler parameters that determine every derived
@@ -40,15 +55,21 @@ pub const DEFAULT_ENTRANCE_CANDIDATES: usize = 4;
 ///
 /// let spec = DeviceSpec::square(6, 2, 2).with_density(2);
 /// let device = spec.cached();
-/// assert_eq!(device.spec(), spec);
+/// assert_eq!(device.spec(), &spec);
 /// // A second lookup shares the same bundle.
 /// assert!(std::sync::Arc::ptr_eq(&device, &spec.cached()));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DeviceSpec {
     chiplet: ChipletSpec,
     highway_density: u32,
     entrance_candidates: usize,
+    /// Dead qubits/links of this calibration epoch. Behind an `Arc` so
+    /// cloning a spec (they flow by value through the serve layer and the
+    /// cache) never copies the sets; `Eq`/`Hash` see through the `Arc` to
+    /// the contents, so two epochs naming the same defects share one
+    /// bundle.
+    defects: Arc<DefectMap>,
 }
 
 impl DeviceSpec {
@@ -59,6 +80,7 @@ impl DeviceSpec {
             chiplet,
             highway_density: DEFAULT_HIGHWAY_DENSITY,
             entrance_candidates: DEFAULT_ENTRANCE_CANDIDATES,
+            defects: Arc::new(DefectMap::default()),
         }
     }
 
@@ -93,6 +115,19 @@ impl DeviceSpec {
         self
     }
 
+    /// Sets the defect map of this calibration epoch. A non-empty map
+    /// names a *different device*: artifacts are masked/pruned around the
+    /// dead resources and cached under the degraded key.
+    pub fn with_defects(mut self, defects: DefectMap) -> Self {
+        self.defects = Arc::new(defects);
+        self
+    }
+
+    /// The defect map of this calibration epoch (empty = pristine).
+    pub fn defects(&self) -> &DefectMap {
+        &self.defects
+    }
+
     /// The chiplet geometry.
     pub fn chiplet(&self) -> ChipletSpec {
         self.chiplet
@@ -111,13 +146,13 @@ impl DeviceSpec {
     /// Builds a fresh artifact bundle, bypassing the cache (tests use this
     /// to prove fresh-built and cache-shared artifacts compile
     /// identically).
-    pub fn build_artifacts(self) -> Arc<DeviceArtifacts> {
-        Arc::new(DeviceArtifacts::build(self))
+    pub fn build_artifacts(&self) -> Arc<DeviceArtifacts> {
+        Arc::new(DeviceArtifacts::build(self.clone()))
     }
 
     /// The memoized artifact bundle for this spec from the global
     /// [`DeviceCache`].
-    pub fn cached(self) -> Arc<DeviceArtifacts> {
+    pub fn cached(&self) -> Arc<DeviceArtifacts> {
         DeviceCache::global().get_or_build(self)
     }
 }
@@ -146,9 +181,26 @@ impl DeviceArtifacts {
     /// Builds the full bundle for `spec`: topology, highway layout,
     /// entrance table (one BFS per data qubit — the only entrance searches
     /// this device will ever run), and CSR claim skeleton.
+    ///
+    /// Defects are applied in a fixed order: the topology and layout are
+    /// always generated *pristine* first (corridor carving assumes
+    /// connected chiplet interiors), then masked/pruned, and only the
+    /// masked forms feed the entrance table and skeleton — so entrance
+    /// BFS can never reach a dead qubit (its masked row is empty) and the
+    /// claim graph structurally lacks dead corridor segments. With an
+    /// empty map both steps return plain clones and the bundle is
+    /// byte-identical to a pristine build.
     pub fn build(spec: DeviceSpec) -> Self {
-        let topo = spec.chiplet.build();
-        let layout = HighwayLayout::generate(&topo, spec.highway_density);
+        let pristine_topo = spec.chiplet.build();
+        let pristine_layout = HighwayLayout::generate(&pristine_topo, spec.highway_density);
+        let (topo, layout) = if spec.defects.is_empty() {
+            (pristine_topo, pristine_layout)
+        } else {
+            (
+                pristine_topo.masked(&spec.defects),
+                pristine_layout.pruned(&spec.defects),
+            )
+        };
         let entrances = EntranceTable::build(&topo, &layout, spec.entrance_candidates);
         let skeleton = Arc::new(HighwaySkeleton::build(topo.num_qubits() as usize, &layout));
         DeviceArtifacts {
@@ -161,8 +213,8 @@ impl DeviceArtifacts {
     }
 
     /// The spec this bundle was built from.
-    pub fn spec(&self) -> DeviceSpec {
-        self.spec
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
     }
 
     /// The chiplet-array topology (CSR adjacency + all-pairs hop table).
@@ -185,29 +237,90 @@ impl DeviceArtifacts {
         &self.skeleton
     }
 
-    /// Number of data (non-highway) qubits — the program width this device
-    /// supports.
+    /// Number of data (non-highway, alive) qubits — the program width this
+    /// device supports.
     pub fn num_data_qubits(&self) -> u32 {
         self.layout.num_data_qubits()
     }
+
+    /// Audits a compiled physical circuit against this device's defect
+    /// map: every operand must be alive, and every two-qubit op must ride
+    /// a coupler that survives in the masked topology. Returns the first
+    /// violation as a human-readable description.
+    ///
+    /// This is the acceptance check for degraded-device compilation — it
+    /// inspects the *schedule*, independently of the structures the
+    /// compiler routed over, so a masking bug in any layer surfaces here.
+    pub fn audit(&self, circuit: &PhysCircuit) -> Result<(), String> {
+        let defects = self.spec.defects();
+        for (i, op) in circuit.ops().iter().enumerate() {
+            for q in [Some(op.a), op.b].into_iter().flatten() {
+                if defects.is_dead_qubit(q) {
+                    return Err(format!("op {i} ({:?}) touches dead qubit {q}", op.kind));
+                }
+            }
+            if let PhysOpKind::TwoQubit(_) = op.kind {
+                let b =
+                    op.b.ok_or_else(|| format!("op {i} lacks a second operand"))?;
+                if defects.is_dead_link(op.a, b) {
+                    return Err(format!("op {i} rides dead link {}-{}", op.a, b));
+                }
+                if !self.topo.are_coupled(op.a, b) {
+                    return Err(format!("op {i} pairs uncoupled qubits {}-{}", op.a, b));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Memoizes [`DeviceArtifacts`] by [`DeviceSpec`]. Process-global via
+/// Memoizes [`DeviceArtifacts`] by [`DeviceSpec`], bounded by a
+/// least-recently-used capacity. Process-global via
 /// [`DeviceCache::global`]; separate instances exist only for tests.
 ///
 /// A build runs while the map lock is held, so a burst of first-touch
 /// requests for one spec builds exactly once and every waiter receives
 /// the same `Arc`. Builds are milliseconds and happen once per device per
 /// process — serializing them is the simple correct choice.
-#[derive(Debug, Default)]
+///
+/// The capacity bound exists for calibration churn: every defect epoch is
+/// a distinct spec, and without eviction a long-lived service would
+/// accumulate one bundle per retired epoch forever. Eviction is
+/// deterministic: each hit stamps the entry with a monotone tick (taken
+/// under the same lock, so ticks are unique), and insertion beyond
+/// capacity removes the entry with the smallest tick. Evicted bundles
+/// stay alive for whoever still holds their `Arc`; they are simply
+/// rebuilt on the next touch.
+#[derive(Debug)]
 pub struct DeviceCache {
-    entries: Mutex<HashMap<DeviceSpec, Arc<DeviceArtifacts>>>,
+    entries: Mutex<CacheState>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<DeviceSpec, (Arc<DeviceArtifacts>, u64)>,
+    tick: u64,
+}
+
+impl Default for DeviceCache {
+    fn default() -> Self {
+        DeviceCache::new()
+    }
 }
 
 impl DeviceCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity bound.
     pub fn new() -> Self {
-        DeviceCache::default()
+        DeviceCache::with_capacity(DEFAULT_DEVICE_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` bundles (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DeviceCache {
+            entries: Mutex::new(CacheState::default()),
+            capacity: capacity.max(1),
+        }
     }
 
     /// The process-global cache used by [`DeviceSpec::cached`].
@@ -216,23 +329,59 @@ impl DeviceCache {
         GLOBAL.get_or_init(DeviceCache::new)
     }
 
-    /// The memoized bundle for `spec`, building it on first touch.
-    pub fn get_or_build(&self, spec: DeviceSpec) -> Arc<DeviceArtifacts> {
-        let mut entries = self.entries.lock().expect("device cache poisoned");
-        if let Some(artifacts) = entries.get(&spec) {
+    /// The memoized bundle for `spec`, building it on first touch and
+    /// evicting the least-recently-used entry when full.
+    pub fn get_or_build(&self, spec: &DeviceSpec) -> Arc<DeviceArtifacts> {
+        let mut state = self.entries.lock().expect("device cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some((artifacts, stamp)) = state.map.get_mut(spec) {
+            *stamp = tick;
             return Arc::clone(artifacts);
         }
-        let artifacts = Arc::new(DeviceArtifacts::build(spec));
-        entries.insert(spec, Arc::clone(&artifacts));
+        if state.map.len() >= self.capacity {
+            if let Some(oldest) = state
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                state.map.remove(&oldest);
+            }
+        }
+        let artifacts = Arc::new(DeviceArtifacts::build(spec.clone()));
+        state
+            .map
+            .insert(spec.clone(), (Arc::clone(&artifacts), tick));
         artifacts
     }
 
-    /// Number of distinct specs built so far.
-    pub fn len(&self) -> usize {
-        self.entries.lock().expect("device cache poisoned").len()
+    /// Drops the bundle for `spec`, if cached; returns whether an entry
+    /// was removed. Holders of the evicted `Arc` are unaffected.
+    pub fn invalidate(&self, spec: &DeviceSpec) -> bool {
+        self.entries
+            .lock()
+            .expect("device cache poisoned")
+            .map
+            .remove(spec)
+            .is_some()
     }
 
-    /// `true` if nothing has been built yet.
+    /// Number of bundles currently cached.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("device cache poisoned")
+            .map
+            .len()
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` if nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -242,18 +391,100 @@ impl DeviceCache {
 mod tests {
     use super::*;
 
+    use mech_chiplet::PhysQubit;
+
     #[test]
     fn cache_shares_one_bundle_per_spec() {
         let cache = DeviceCache::new();
         let spec = DeviceSpec::square(5, 1, 1);
-        let a = cache.get_or_build(spec);
-        let b = cache.get_or_build(spec);
+        let a = cache.get_or_build(&spec);
+        let b = cache.get_or_build(&spec);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cache.len(), 1);
         // A different knob is a different device.
-        let c = cache.get_or_build(spec.with_entrance_candidates(2));
+        let c = cache.get_or_build(&spec.clone().with_entrance_candidates(2));
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used_at_capacity() {
+        let cache = DeviceCache::with_capacity(2);
+        let s1 = DeviceSpec::square(3, 1, 1);
+        let s2 = DeviceSpec::square(4, 1, 1);
+        let s3 = DeviceSpec::square(5, 1, 1);
+        let a1 = cache.get_or_build(&s1);
+        cache.get_or_build(&s2);
+        // Touch s1 so s2 becomes the LRU entry.
+        assert!(Arc::ptr_eq(&a1, &cache.get_or_build(&s1)));
+        cache.get_or_build(&s3);
+        assert_eq!(cache.len(), 2);
+        // s1 survived, s2 was evicted (a fresh Arc on re-touch) …
+        assert!(Arc::ptr_eq(&a1, &cache.get_or_build(&s1)));
+        // … and re-touching s2 rebuilds it, evicting s3 (now the LRU).
+        cache.get_or_build(&s2);
+        assert_eq!(cache.len(), 2);
+        assert!(Arc::ptr_eq(&a1, &cache.get_or_build(&s1)));
+    }
+
+    #[test]
+    fn cache_invalidate_drops_exactly_one_entry() {
+        let cache = DeviceCache::new();
+        let spec = DeviceSpec::square(4, 1, 1);
+        let degraded = spec
+            .clone()
+            .with_defects(DefectMap::new().with_dead_link(PhysQubit(0), PhysQubit(1)));
+        let a = cache.get_or_build(&spec);
+        cache.get_or_build(&degraded);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.invalidate(&degraded));
+        assert!(!cache.invalidate(&degraded), "second invalidate is a no-op");
+        assert_eq!(cache.len(), 1);
+        assert!(Arc::ptr_eq(&a, &cache.get_or_build(&spec)));
+        assert_eq!(cache.capacity(), DEFAULT_DEVICE_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn defective_specs_are_distinct_cache_keys() {
+        let pristine = DeviceSpec::square(5, 1, 2);
+        let empty = pristine.clone().with_defects(DefectMap::default());
+        // Empty defect map: same device, same key.
+        assert_eq!(pristine, empty);
+        let degraded = pristine
+            .clone()
+            .with_defects(DefectMap::new().with_dead_qubit(PhysQubit(3)));
+        assert_ne!(pristine, degraded);
+        let cache = DeviceCache::new();
+        let a = cache.get_or_build(&pristine);
+        let b = cache.get_or_build(&empty);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &cache.get_or_build(&degraded)));
+    }
+
+    #[test]
+    fn degraded_artifacts_exclude_dead_resources() {
+        let pristine = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let dead_data = pristine.layout().data_qubits()[0];
+        let dead_node = pristine.layout().nodes()[0];
+        let spec = DeviceSpec::square(5, 1, 2).with_defects(
+            DefectMap::new()
+                .with_dead_qubit(dead_data)
+                .with_dead_qubit(dead_node),
+        );
+        let device = spec.build_artifacts();
+        assert_eq!(device.num_data_qubits(), pristine.num_data_qubits() - 1);
+        assert!(device.topology().neighbors(dead_data).is_empty());
+        assert!(device.topology().neighbors(dead_node).is_empty());
+        assert!(!device.layout().nodes().contains(&dead_node));
+        assert!(device.entrances().at(dead_data).is_empty());
+        assert!(device.skeleton().matches(device.layout()));
+        // No surviving entrance option mentions the dead highway node.
+        for q in device.layout().data_qubits() {
+            for opt in device.entrances().at(q) {
+                assert_ne!(opt.entrance, dead_node);
+                assert_ne!(opt.access, dead_data);
+            }
+        }
     }
 
     #[test]

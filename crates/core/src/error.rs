@@ -46,6 +46,19 @@ pub enum CompileError {
     },
     /// A qubit could not be routed (disconnected data region).
     Routing(RoutingError),
+    /// The circuit is unroutable on the surviving fabric of a *degraded*
+    /// device (non-empty defect map): routing or schedule progress failed
+    /// because dead qubits/links disconnected the resources the program
+    /// needs. A client error — the same request can only succeed on a
+    /// healthier device.
+    DeviceDegraded {
+        /// Dead qubits in the device's defect map.
+        dead_qubits: u32,
+        /// Dead links in the device's defect map.
+        dead_links: u32,
+        /// What failed on the surviving fabric.
+        detail: String,
+    },
     /// The compiler itself broke: a panic caught at the service boundary,
     /// or an invariant violation downgraded to an error.
     Internal {
@@ -64,7 +77,8 @@ impl CompileError {
             CompileError::TooManyQubits { .. }
             | CompileError::InvalidCircuit(_)
             | CompileError::DeadlineExceeded { .. }
-            | CompileError::Cancelled { .. } => true,
+            | CompileError::Cancelled { .. }
+            | CompileError::DeviceDegraded { .. } => true,
             CompileError::Routing(_)
             | CompileError::Stalled { .. }
             | CompileError::Internal { .. } => false,
@@ -94,6 +108,14 @@ impl fmt::Display for CompileError {
                 "compilation stalled: no schedule progress after {rounds} rounds"
             ),
             CompileError::Routing(e) => write!(f, "routing failed: {e}"),
+            CompileError::DeviceDegraded {
+                dead_qubits,
+                dead_links,
+                detail,
+            } => write!(
+                f,
+                "unroutable on degraded device ({dead_qubits} dead qubits, {dead_links} dead links): {detail}"
+            ),
             CompileError::Internal { detail } => write!(f, "internal compiler error: {detail}"),
         }
     }
@@ -145,6 +167,13 @@ mod tests {
             detail: "worker panicked".into(),
         };
         assert!(e.to_string().contains("worker panicked"));
+        let e = CompileError::DeviceDegraded {
+            dead_qubits: 4,
+            dead_links: 2,
+            detail: "no path".into(),
+        };
+        assert!(e.to_string().contains("degraded"));
+        assert!(e.to_string().contains('4') && e.to_string().contains("no path"));
     }
 
     #[test]
@@ -161,6 +190,12 @@ mod tests {
         .is_client_error());
         assert!(CompileError::DeadlineExceeded { rounds: 0 }.is_client_error());
         assert!(CompileError::Cancelled { rounds: 1 }.is_client_error());
+        assert!(CompileError::DeviceDegraded {
+            dead_qubits: 1,
+            dead_links: 0,
+            detail: "x".into()
+        }
+        .is_client_error());
         assert!(!CompileError::Stalled { rounds: 3 }.is_client_error());
         assert!(!CompileError::Internal { detail: "x".into() }.is_client_error());
         assert!(!CompileError::Routing(RoutingError::Disconnected {

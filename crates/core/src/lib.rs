@@ -56,7 +56,8 @@ pub use baseline::BaselineCompiler;
 pub use compiler::{CompileResult, CompileSession, MechCompiler, STALL_ROUND_LIMIT};
 pub use config::{BudgetExceeded, CompileBudget, CompilerConfig, GhzStyle};
 pub use device::{
-    DeviceArtifacts, DeviceCache, DeviceSpec, DEFAULT_ENTRANCE_CANDIDATES, DEFAULT_HIGHWAY_DENSITY,
+    DeviceArtifacts, DeviceCache, DeviceSpec, DEFAULT_DEVICE_CACHE_CAPACITY,
+    DEFAULT_ENTRANCE_CANDIDATES, DEFAULT_HIGHWAY_DENSITY,
 };
 pub use error::CompileError;
 pub use metrics::Metrics;
@@ -70,6 +71,7 @@ pub use mech_router;
 
 // The most common types, re-exported flat for convenience.
 pub use mech_chiplet::{
-    CancelToken, ChipletSpec, CostModel, CouplingStructure, HighwayLayout, PhysCircuit, Topology,
+    CancelToken, ChipletSpec, CostModel, CouplingStructure, DefectMap, HighwayLayout, PhysCircuit,
+    Topology,
 };
 pub use mech_circuit::{benchmarks, Circuit, Qubit};

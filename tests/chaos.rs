@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use mech::mech_chiplet::fault::{arm, disarm, FaultMode, FaultPlan, FaultSite};
+use mech::mech_chiplet::{DefectMap, LinkKind, PhysQubit};
 use mech::{CompileError, CompilerConfig, DeviceSpec, MechCompiler, Qubit, STALL_ROUND_LIMIT};
 use mech_bench::serve::{CompileService, Request, ServeError, ServeOptions, Ticket};
 use mech_circuit::benchmarks::{bernstein_vazirani, qft};
@@ -320,6 +321,72 @@ fn random_fault_plans_never_deadlock_and_stats_reconcile() {
         );
         assert_eq!(stats.worker_restarts, 0, "seed {seed}");
     }
+}
+
+#[test]
+fn device_defect_mid_epoch_flip_stays_transient_and_deterministic() {
+    let _serial = chaos_lock();
+    let device = device();
+    let program = workload(&device);
+    let config = CompilerConfig {
+        threads: 1,
+        ..CompilerConfig::default()
+    };
+
+    // The persistent calibration flip kills the same canonical link the
+    // `device.defect` injector degrades transiently: the first cross-chip
+    // link in scan order.
+    let topo = device.topology();
+    let (a, b) = (0..topo.num_qubits())
+        .map(PhysQubit)
+        .find_map(|q| {
+            topo.neighbor_links(q)
+                .find(|l| l.kind == LinkKind::CrossChip && q < l.to)
+                .map(|l| (q, l.to))
+        })
+        .unwrap();
+    let degraded_spec = device
+        .spec()
+        .clone()
+        .with_defects(DefectMap::new().with_dead_link(a, b));
+    let degraded = degraded_spec.build_artifacts();
+    let direct_degraded = MechCompiler::new(Arc::clone(&degraded), config)
+        .compile(&program)
+        .unwrap();
+    degraded.audit(&direct_degraded.circuit).unwrap();
+
+    let service = single_worker(Arc::clone(&device));
+    let report = {
+        let _armed =
+            Armed::plan(FaultPlan::new().fail_nth(FaultSite::DeviceDefect, 1, FaultMode::Error));
+        let outcome = bounded_wait(&service.submit(Arc::new(program.clone())).unwrap()).unwrap();
+        // The injected defect reroutes this one request onto the degraded
+        // bundle — deterministically the same schedule the persistent flip
+        // will produce below.
+        let got = outcome.result.unwrap();
+        assert_eq!(got.circuit.ops(), direct_degraded.circuit.ops());
+        disarm()
+    };
+    assert_eq!(report.fired(), 1);
+
+    // Mid-epoch calibration flip: the link now goes dead *persistently*
+    // via an epoch swap, and the new epoch serves the same schedule the
+    // transient injection produced.
+    let degraded_spec = device
+        .spec()
+        .clone()
+        .with_defects(DefectMap::new().with_dead_link(a, b));
+    service.reconfigure(degraded_spec).wait().unwrap();
+    let got = bounded_wait(&service.submit(Arc::new(program.clone())).unwrap())
+        .unwrap()
+        .result
+        .unwrap();
+    assert_eq!(got.circuit.ops(), direct_degraded.circuit.ops());
+
+    let stats = service.shutdown();
+    assert_eq!(stats.epoch, 1);
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
 }
 
 #[test]

@@ -20,7 +20,7 @@
 
 use mech::{CompilerConfig, DeviceSpec, MechCompiler};
 use mech_bench::programs;
-use mech_chiplet::{ChipletSpec, CouplingStructure};
+use mech_chiplet::{ChipletSpec, CouplingStructure, DefectMap};
 use mech_circuit::Circuit;
 
 /// Thread counts every fingerprint is checked at: serial, minimal
@@ -36,7 +36,7 @@ const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 /// pin the contract that a cache-shared `DeviceArtifacts` bundle compiles
 /// identically to a freshly built one (asserted directly in
 /// `tests/shared_artifacts.rs`).
-fn fingerprint(spec: DeviceSpec, program: &Circuit, threads: usize) -> String {
+fn fingerprint(spec: &DeviceSpec, program: &Circuit, threads: usize) -> String {
     let device = spec.cached();
     let config = CompilerConfig {
         threads,
@@ -68,7 +68,7 @@ fn fingerprint(spec: DeviceSpec, program: &Circuit, threads: usize) -> String {
 
 /// Asserts the fingerprint matches at every thread count, or prints it
 /// when regenerating.
-fn check(name: &str, spec: DeviceSpec, program: &Circuit, golden: &str) {
+fn check(name: &str, spec: &DeviceSpec, program: &Circuit, golden: &str) {
     if std::env::var_os("MECH_GOLDEN_PRINT").is_some() {
         let actual = fingerprint(spec, program, 1);
         println!("GOLDEN {name} = {actual}");
@@ -83,45 +83,45 @@ fn check(name: &str, spec: DeviceSpec, program: &Circuit, golden: &str) {
     }
 }
 
-fn data_width(spec: DeviceSpec) -> u32 {
+fn data_width(spec: &DeviceSpec) -> u32 {
     spec.cached().num_data_qubits()
 }
 
 #[test]
 fn golden_qft_6x6_2x2() {
     let dev = DeviceSpec::square(6, 2, 2);
-    let n = data_width(dev);
-    check("qft_6x6_2x2", dev, &programs::qft(n), GOLDEN_QFT);
+    let n = data_width(&dev);
+    check("qft_6x6_2x2", &dev, &programs::qft(n), GOLDEN_QFT);
 }
 
 #[test]
 fn golden_qaoa_6x6_2x2() {
     let dev = DeviceSpec::square(6, 2, 2);
-    let n = data_width(dev);
-    check("qaoa_6x6_2x2", dev, &programs::qaoa(n), GOLDEN_QAOA);
+    let n = data_width(&dev);
+    check("qaoa_6x6_2x2", &dev, &programs::qaoa(n), GOLDEN_QAOA);
 }
 
 #[test]
 fn golden_vqe_6x6_2x2() {
     let dev = DeviceSpec::square(6, 2, 2);
-    let n = data_width(dev);
-    check("vqe_6x6_2x2", dev, &programs::vqe(n), GOLDEN_VQE);
+    let n = data_width(&dev);
+    check("vqe_6x6_2x2", &dev, &programs::vqe(n), GOLDEN_VQE);
 }
 
 #[test]
 fn golden_bv_6x6_2x2() {
     let dev = DeviceSpec::square(6, 2, 2);
-    let n = data_width(dev);
-    check("bv_6x6_2x2", dev, &programs::bv(n), GOLDEN_BV);
+    let n = data_width(&dev);
+    check("bv_6x6_2x2", &dev, &programs::bv(n), GOLDEN_BV);
 }
 
 #[test]
 fn golden_random_6x6_2x2() {
     let dev = DeviceSpec::square(6, 2, 2);
-    let n = data_width(dev);
+    let n = data_width(&dev);
     check(
         "random_6x6_2x2",
-        dev,
+        &dev,
         &programs::golden_random(n),
         GOLDEN_RANDOM,
     );
@@ -135,12 +135,27 @@ fn golden_qft_heavy_hex_8x8_2x2() {
     // Captured after the CSR routing-substrate refactor (PR 5) — it locks
     // in the kernel layer's canonical tie-breaks on irregular lattices.
     let dev = DeviceSpec::new(ChipletSpec::new(CouplingStructure::HeavyHexagon, 8, 2, 2));
-    let n = data_width(dev);
+    let n = data_width(&dev);
     check(
         "qft_heavyhex_8x8_2x2",
-        dev,
+        &dev,
         &programs::qft(n),
         GOLDEN_QFT_HEAVY_HEX,
+    );
+}
+
+#[test]
+fn golden_qft_with_empty_defect_map_is_byte_identical() {
+    // The defect model's zero-cost rail (DESIGN.md §13): attaching an
+    // *empty* defect map is not allowed to change one byte of the compiled
+    // schedule — same golden constant, no separate fingerprint.
+    let dev = DeviceSpec::square(6, 2, 2).with_defects(DefectMap::new());
+    let n = data_width(&dev);
+    check(
+        "qft_6x6_2x2_empty_defects",
+        &dev,
+        &programs::qft(n),
+        GOLDEN_QFT,
     );
 }
 
@@ -149,8 +164,8 @@ fn golden_qft_dense_highway_7x7_1x2() {
     // A second device shape and a denser highway exercise different claim
     // geometry and entrance tables.
     let dev = DeviceSpec::square(7, 1, 2).with_density(2);
-    let n = data_width(dev);
-    check("qft_7x7_1x2_d2", dev, &programs::qft(n), GOLDEN_QFT_DENSE);
+    let n = data_width(&dev);
+    check("qft_7x7_1x2_d2", &dev, &programs::qft(n), GOLDEN_QFT_DENSE);
 }
 
 // ---------------------------------------------------------------------------
