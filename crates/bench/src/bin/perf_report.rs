@@ -12,6 +12,7 @@
 //!     [--quick] [--label <name>] [--serve-out <path>]
 //! cargo run --release -p mech-bench --bin perf_report -- --check [--out <path>] [--serve-out <path>]
 //! cargo run --release -p mech-bench --bin perf_report -- --degraded [--quick] [--threads <t>]
+//! cargo run --release -p mech-bench --bin perf_report -- --verify [--quick] [--threads <t>]
 //! ```
 //!
 //! `--quick` shrinks the device for a CI smoke run; `--label` names the run
@@ -46,6 +47,15 @@
 //! — and exits nonzero if any family fails to compile or any schedule
 //! touches a dead resource.
 //!
+//! `--verify` is the semantic-verification smoke: it compiles the three
+//! Clifford families (`mech_bench::programs::CLIFFORD_FAMILIES`) on the
+//! full 441-qubit device with trace recording on, replays each schedule on
+//! the stabilizer backend under the standard outcome-policy sweep, and
+//! prints per-family verify wall-clock alongside the event and protocol-
+//! measurement counts. It appends nothing and exits nonzero on the first
+//! miscompile — a CI guard that the compiler's output, not just its
+//! byte-identity to goldens, is semantically correct at device scale.
+//!
 //! `--check` runs no benchmarks: it parses the *committed*
 //! `BENCH_compile.json` and `BENCH_serve.json` and asserts the recorded
 //! perf trajectories. For the compile file, the `post-csr` run must hold
@@ -79,6 +89,7 @@ struct Args {
     check: bool,
     serve: bool,
     degraded: bool,
+    verify: bool,
 }
 
 fn parse_args() -> Args {
@@ -92,6 +103,7 @@ fn parse_args() -> Args {
         check: false,
         serve: false,
         degraded: false,
+        verify: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -100,6 +112,7 @@ fn parse_args() -> Args {
             "--check" => args.check = true,
             "--serve" => args.serve = true,
             "--degraded" => args.degraded = true,
+            "--verify" => args.verify = true,
             "--label" => args.label = it.next().expect("--label needs a value"),
             "--out" => args.out = it.next().expect("--out needs a value"),
             "--serve-out" => args.serve_out = it.next().expect("--serve-out needs a value"),
@@ -120,7 +133,7 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown argument {other}; supported: --quick --check --serve --degraded \
-                     --label <s> --out <path> --serve-out <path> --iters <k> --threads <t>"
+                     --verify --label <s> --out <path> --serve-out <path> --iters <k> --threads <t>"
                 );
                 std::process::exit(2);
             }
@@ -287,6 +300,10 @@ fn main() {
     }
     if args.degraded {
         run_degraded(&args);
+        return;
+    }
+    if args.verify {
+        run_verify(&args);
         return;
     }
     let device = device_spec(args.quick).cached();
@@ -551,6 +568,55 @@ fn run_degraded(args: &Args) {
         );
     }
     println!("degraded-device smoke ok: all families compiled on surviving fabric");
+}
+
+/// `--verify`: the semantic-verification smoke. Compiles each Clifford
+/// family with trace recording on, replays the schedule on the stabilizer
+/// backend under the policy sweep, and prints verify wall-clock (see
+/// module docs). Appends no records; panics on the first miscompile.
+fn run_verify(args: &Args) {
+    let device = device_spec(args.quick).cached();
+    let n = device.num_data_qubits();
+    let config = mech_bench::verify::recording(CompilerConfig {
+        threads: args.threads,
+        ..CompilerConfig::default()
+    });
+
+    println!(
+        "perf_report --verify: {} device qubits, {} data qubits, threads={}",
+        device.topology().num_qubits(),
+        n,
+        args.threads
+    );
+    println!(
+        "{:<14} {:>7} {:>8} {:>8} {:>10} {:>12} {:>12}",
+        "family", "qubits", "gates", "events", "protocol", "compile ms", "verify ms"
+    );
+
+    for (family, gen) in programs::CLIFFORD_FAMILIES {
+        let program = gen(n);
+        let gates = program.len();
+        let t = Instant::now();
+        let result = MechCompiler::new(Arc::clone(&device), config)
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("{family} must compile: {e}"));
+        let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let reports = mech_bench::verify::verify_compiled(&program, &result)
+            .unwrap_or_else(|e| panic!("{family} schedule failed semantic verification: {e}"));
+        let verify_ms = t.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<14} {:>7} {:>8} {:>8} {:>10} {:>12.1} {:>12.1}",
+            family,
+            n,
+            gates,
+            reports[0].events,
+            reports[0].protocol_measurements,
+            compile_ms,
+            verify_ms
+        );
+    }
+    println!("semantic-verification smoke ok: all clifford families verified under the sweep");
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice.

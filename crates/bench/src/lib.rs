@@ -117,8 +117,8 @@ pub mod programs {
     //! seed here and every golden fingerprint is invalidated — regenerate
     //! them (see `tests/golden_schedules.rs`) in the same change.
 
-    use mech_circuit::benchmarks::{random_circuit, Benchmark};
-    use mech_circuit::Circuit;
+    use mech_circuit::benchmarks::{random_circuit, random_clifford, Benchmark};
+    use mech_circuit::{Circuit, Qubit};
 
     /// Seed for the four paper families.
     pub const FAMILY_SEED: u64 = 2024;
@@ -159,6 +159,25 @@ pub mod programs {
         random_circuit(n.min(40), 400, 77)
     }
 
+    /// GHZ state preparation on `n` qubits (H + CNOT chain), measured out.
+    /// The smallest interesting Clifford family: one multi-target-friendly
+    /// entangling pattern, fully verifiable by the stabilizer backend.
+    pub fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::with_capacity(n, 2 * n as usize);
+        c.h(Qubit(0)).expect("in range");
+        for q in 1..n {
+            c.cnot(Qubit(q - 1), Qubit(q)).expect("in range");
+        }
+        c.measure_all();
+        c
+    }
+
+    /// Seeded random Clifford circuit (`6n` gates): the stress member of
+    /// the verification corpus — H/S/Sdg/Paulis/CNOT/CZ drawn uniformly.
+    pub fn rand_clifford(n: u32) -> Circuit {
+        random_clifford(n, 6 * n as usize, FAMILY_SEED)
+    }
+
     /// A named family generator: the program for a given width.
     pub type FamilyGen = fn(u32) -> Circuit;
 
@@ -172,6 +191,64 @@ pub mod programs {
         ("rand-sparse", rand_sparse),
         ("rand-dense", rand_dense),
     ];
+
+    /// The Clifford program families the semantic verifier can check end
+    /// to end (QFT/QAOA/VQE carry rotations and are outside the stabilizer
+    /// formalism). Shared by `perf_report --verify`, the chaos/defects
+    /// suites, and `tests/verify.rs`.
+    pub const CLIFFORD_FAMILIES: [(&str, FamilyGen); 3] =
+        [("ghz", ghz), ("bv", bv), ("rand-clifford", rand_clifford)];
+}
+
+pub mod verify {
+    //! Glue between the compiler and the stabilizer verifier in
+    //! `mech-sim`: compile with [`CompilerConfig::record_sem_trace`] set,
+    //! then hand the recorded event stream plus the final qubit mapping to
+    //! [`SchedVerifier`].
+
+    use mech::{CompileResult, CompilerConfig};
+    use mech_circuit::Circuit;
+
+    pub use mech_sim::verify::{SchedVerifier, VerifyError, VerifyReport};
+    pub use mech_sim::OutcomePolicy;
+
+    /// The compiler configuration for verifiable compiles: `config` with
+    /// semantic-trace recording switched on (schedules stay byte-identical
+    /// either way — the trace is a side channel).
+    pub fn recording(config: CompilerConfig) -> CompilerConfig {
+        CompilerConfig {
+            record_sem_trace: true,
+            ..config
+        }
+    }
+
+    /// Verifies a compiled schedule against its ideal circuit under the
+    /// standard [`OutcomePolicy::SWEEP`] (zeros, ones, seeded), so every
+    /// classically-controlled correction runs both branches.
+    ///
+    /// The result must have been compiled with
+    /// [`CompilerConfig::record_sem_trace`] (see [`recording`]); otherwise
+    /// this returns [`VerifyError::MissingTrace`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`VerifyError`]: non-Clifford input, a measurement divergence,
+    /// a diverged stabilizer generator, or an entangled ancilla.
+    pub fn verify_compiled(
+        ideal: &Circuit,
+        result: &CompileResult,
+    ) -> Result<Vec<VerifyReport>, VerifyError> {
+        if !result.circuit.sem_recording() {
+            return Err(VerifyError::MissingTrace);
+        }
+        SchedVerifier::new(
+            ideal,
+            result.circuit.num_qubits(),
+            result.circuit.sem_events(),
+            &result.final_positions,
+        )
+        .verify_sweep()
+    }
 }
 
 /// Everything measured for one (architecture, program) cell.

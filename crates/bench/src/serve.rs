@@ -24,7 +24,13 @@
 //! * a cancelled [`CancelToken`] sheds a queued request and aborts a
 //!   running one between rounds (and mid-search, via the kernels);
 //! * [`ServiceStats`] reconciles every submitted request exactly once:
-//!   `submitted = served + shed + failed`.
+//!   `submitted = served + shed + failed`;
+//! * an opt-in semantic verification gate ([`Request::with_verify`],
+//!   DESIGN.md §14) compiles with trace recording (schedules stay
+//!   byte-identical), replays the trace on the stabilizer backend, and
+//!   turns any divergence from the ideal circuit into a server-class
+//!   [`CompileError::Miscompiled`] counted in
+//!   [`ServiceStats::miscompiled`] — a wrong schedule is never served.
 //!
 //! Workers compile with `threads = threads_per_worker` (default 1): under
 //! concurrent load the pool itself is the parallelism, subsuming the
@@ -143,6 +149,15 @@ pub struct Request {
     /// default: a deterministic compiler panics deterministically, so the
     /// retry only helps when the fault was environmental.
     pub retry_internal: bool,
+    /// Semantically verify the compiled schedule before serving it: the
+    /// compile records its semantic trace (a side channel — the schedule
+    /// stays byte-identical) and the stabilizer verifier replays it under
+    /// the standard outcome-policy sweep. A failed verification comes back
+    /// as [`CompileError::Miscompiled`] and counts in
+    /// [`ServiceStats::miscompiled`] (and `failed`). Non-Clifford circuits
+    /// cannot be verified; for them the gate is skipped and
+    /// [`ServeOutcome::verified`] stays `false`.
+    pub verify: bool,
 }
 
 impl Request {
@@ -153,6 +168,7 @@ impl Request {
             deadline: None,
             cancel: CancelToken::new(),
             retry_internal: false,
+            verify: false,
         }
     }
 
@@ -171,6 +187,12 @@ impl Request {
     /// Sets the one-shot retry policy for `Internal` failures.
     pub fn with_retry_internal(mut self, retry: bool) -> Self {
         self.retry_internal = retry;
+        self
+    }
+
+    /// Opts the request into the semantic verification gate.
+    pub fn with_verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
         self
     }
 }
@@ -195,6 +217,13 @@ pub struct ServeOutcome {
     /// `true` when the compile was retried after an `Internal` failure
     /// (the result is the retry's).
     pub retried: bool,
+    /// `true` when the semantic verification gate actually ran (the
+    /// request opted in, the compile succeeded, and the circuit was
+    /// Clifford). A verified `Ok` outcome is a proven-correct schedule.
+    pub verified: bool,
+    /// Milliseconds spent in the verification gate (0 when it did not
+    /// run).
+    pub verify_ms: f64,
 }
 
 /// Handle to one submitted request; redeem with [`Ticket::wait`] or poll
@@ -261,8 +290,13 @@ pub struct ServiceStats {
     /// never compiled.
     pub shed: u64,
     /// Requests whose compile returned an error (including `Internal`
-    /// after an exhausted retry).
+    /// after an exhausted retry, and `Miscompiled` from the verification
+    /// gate).
     pub failed: u64,
+    /// Requests whose compiled schedule failed semantic verification
+    /// (also counted in `failed`; the tenant sees
+    /// [`CompileError::Miscompiled`]).
+    pub miscompiled: u64,
     /// Compiles that panicked and were caught (each retry that panics
     /// counts again).
     pub panicked: u64,
@@ -284,6 +318,7 @@ struct Counters {
     served: AtomicU64,
     shed: AtomicU64,
     failed: AtomicU64,
+    miscompiled: AtomicU64,
     panicked: AtomicU64,
     retried: AtomicU64,
     worker_restarts: AtomicU64,
@@ -297,6 +332,7 @@ impl Counters {
             served: self.served.load(Ordering::SeqCst),
             shed: self.shed.load(Ordering::SeqCst),
             failed: self.failed.load(Ordering::SeqCst),
+            miscompiled: self.miscompiled.load(Ordering::SeqCst),
             panicked: self.panicked.load(Ordering::SeqCst),
             retried: self.retried.load(Ordering::SeqCst),
             worker_restarts: self.worker_restarts.load(Ordering::SeqCst),
@@ -682,6 +718,8 @@ fn serve_one(index: usize, shared: &Shared, job: Job) {
             worker: index,
             shed: true,
             retried: false,
+            verified: false,
+            verify_ms: 0.0,
         });
         return;
     }
@@ -690,7 +728,15 @@ fn serve_one(index: usize, shared: &Shared, job: Job) {
     if let Some(d) = deadline {
         budget = budget.with_deadline(d);
     }
-    let compiler = MechCompiler::new(Arc::clone(&job.device), shared.config);
+    // Verify-gated requests compile with semantic-trace recording on; the
+    // trace is a side channel, so the schedule is byte-identical to an
+    // unverified compile of the same request.
+    let config = if job.request.verify {
+        crate::verify::recording(shared.config)
+    } else {
+        shared.config
+    };
+    let compiler = MechCompiler::new(Arc::clone(&job.device), config);
     // The `device.defect` fault site models a calibration defect landing
     // at per-request device resolution. It only arms for requests that
     // would actually reach the device (valid and narrow enough to place):
@@ -705,7 +751,7 @@ fn serve_one(index: usize, shared: &Shared, job: Job) {
                 // flipped dead). The epoch's bundle is untouched, so the
                 // very next request compiles pristine again.
                 let degraded = degraded_bundle(&job.device);
-                return MechCompiler::new(degraded, shared.config)
+                return MechCompiler::new(degraded, config)
                     .compile_with_budget(&job.request.circuit, budget);
             }
             compiler.compile_with_budget(&job.request.circuit, budget)
@@ -730,6 +776,31 @@ fn serve_one(index: usize, shared: &Shared, job: Job) {
     }
     let compile_ms = started.elapsed().as_secs_f64() * 1e3;
 
+    // The verification gate: replay the recorded trace on the stabilizer
+    // backend and hold the schedule to the ideal circuit's state. A
+    // divergence is a *server-side* failure (the tenant's request was
+    // fine; the compiler produced a wrong schedule), reported as
+    // `Miscompiled`. Non-Clifford circuits are outside the stabilizer
+    // formalism: the gate skips them rather than failing valid requests.
+    let mut verified = false;
+    let mut verify_ms = 0.0;
+    if job.request.verify {
+        if let Ok(compiled) = &result {
+            let vstart = Instant::now();
+            match crate::verify::verify_compiled(&job.request.circuit, compiled) {
+                Ok(_) => verified = true,
+                Err(crate::verify::VerifyError::NonCliffordInput { .. }) => {}
+                Err(e) => {
+                    stats.miscompiled.fetch_add(1, Ordering::SeqCst);
+                    result = Err(CompileError::Miscompiled {
+                        detail: e.to_string(),
+                    });
+                }
+            }
+            verify_ms = vstart.elapsed().as_secs_f64() * 1e3;
+        }
+    }
+
     match &result {
         Ok(_) => stats.served.fetch_add(1, Ordering::SeqCst),
         Err(_) => stats.failed.fetch_add(1, Ordering::SeqCst),
@@ -743,6 +814,8 @@ fn serve_one(index: usize, shared: &Shared, job: Job) {
         worker: index,
         shed: false,
         retried,
+        verified,
+        verify_ms,
     });
 }
 
@@ -1109,6 +1182,71 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.epoch, 1);
         assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+    }
+
+    #[test]
+    fn verify_gate_proves_clifford_schedules_and_stays_byte_identical() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let config = CompilerConfig {
+            threads: 1,
+            ..CompilerConfig::default()
+        };
+        let n = device.num_data_qubits();
+        let service = CompileService::start(
+            Arc::clone(&device),
+            config,
+            ServeOptions {
+                workers: 2,
+                queue_capacity: 8,
+                threads_per_worker: 1,
+            },
+        );
+        for program in [
+            programs::ghz(n),
+            programs::bv(n),
+            programs::rand_clifford(n),
+        ] {
+            let program = Arc::new(program);
+            let direct = MechCompiler::new(Arc::clone(&device), config)
+                .compile(&program)
+                .unwrap();
+            let outcome = service
+                .submit_request(Request::new(Arc::clone(&program)).with_verify(true))
+                .unwrap()
+                .wait()
+                .unwrap();
+            assert!(outcome.verified, "clifford program must be verified");
+            assert!(outcome.verify_ms >= 0.0);
+            let got = outcome.result.expect("verified compile is served");
+            // The gate records a semantic trace; the schedule itself must
+            // be byte-identical to an unverified direct compile.
+            assert_eq!(got.circuit.ops(), direct.circuit.ops());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.miscompiled, 0);
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+    }
+
+    #[test]
+    fn verify_gate_skips_non_clifford_circuits() {
+        let device = DeviceSpec::square(5, 1, 2).build_artifacts();
+        let n = device.num_data_qubits();
+        let service = CompileService::start(
+            Arc::clone(&device),
+            CompilerConfig::default(),
+            ServeOptions::default(),
+        );
+        let outcome = service
+            .submit_request(Request::new(Arc::new(programs::qft(n.min(16)))).with_verify(true))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(outcome.result.is_ok(), "non-clifford requests still serve");
+        assert!(!outcome.verified, "rotations are outside the formalism");
+        let stats = service.shutdown();
+        assert_eq!(stats.miscompiled, 0);
+        assert_eq!(stats.served, 1);
     }
 
     #[test]

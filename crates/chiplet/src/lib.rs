@@ -31,6 +31,7 @@ mod pathfind;
 mod phys;
 mod render;
 mod scratch;
+pub mod sem;
 mod spec;
 mod structures;
 mod topology;
@@ -48,5 +49,6 @@ pub use render::render_layout;
 pub use scratch::{
     CancelToken, QubitSet, RoutingScratch, SearchCost, StampMap, StampSet, UNREACHED,
 };
+pub use sem::{SemEvent, SemEventKind, SemGate1, SemGate2, SemPauli};
 pub use spec::{ChipletSpec, CouplingStructure};
 pub use topology::{Link, Topology};

@@ -10,6 +10,7 @@
 
 use crate::cost::CostModel;
 use crate::ids::{LinkKind, PhysQubit};
+use crate::sem::{SemEvent, SemEventKind, SemGate1, SemGate2, SemPauli, SemTrace};
 use crate::topology::Topology;
 
 /// The kind of a physical operation.
@@ -78,6 +79,9 @@ pub struct PhysCircuit {
     ops: Vec<PhysOp>,
     clock: Vec<u64>,
     counts: OpCounts,
+    /// Semantic side channel (see [`crate::sem`]); `None` unless recording
+    /// was enabled. Never affects ops, clocks, or counts.
+    sem: Option<SemTrace>,
 }
 
 impl PhysCircuit {
@@ -88,7 +92,87 @@ impl PhysCircuit {
             ops: Vec::new(),
             clock: vec![0; num_qubits as usize],
             counts: OpCounts::default(),
+            sem: None,
         }
+    }
+
+    /// Turns on semantic event recording (see [`crate::sem`]). The emitting
+    /// layers append a [`SemEvent`] per meaningful step; the op stream is
+    /// unaffected.
+    pub fn enable_sem_recording(&mut self) {
+        if self.sem.is_none() {
+            self.sem = Some(SemTrace::default());
+        }
+    }
+
+    /// `true` when semantic events are being recorded. Emitters guard their
+    /// (potentially allocating) event construction on this.
+    pub fn sem_recording(&self) -> bool {
+        self.sem.is_some()
+    }
+
+    /// The recorded semantic events, in emission order (empty unless
+    /// [`PhysCircuit::enable_sem_recording`] was called).
+    pub fn sem_events(&self) -> &[SemEvent] {
+        self.sem.as_ref().map_or(&[], |t| &t.events)
+    }
+
+    /// Records a one-qubit gate's semantic identity. No-op unless recording.
+    pub fn record_gate1(&mut self, q: PhysQubit, g: SemGate1) {
+        let op = self.ops.len() as u32;
+        if let Some(t) = &mut self.sem {
+            t.events.push(SemEvent {
+                op,
+                kind: SemEventKind::Gate1 { q, g },
+            });
+        }
+    }
+
+    /// Records a two-qubit gate's semantic identity (`a` is the control for
+    /// [`SemGate2::Cnot`]). No-op unless recording.
+    pub fn record_gate2(&mut self, kind: SemGate2, a: PhysQubit, b: PhysQubit) {
+        let op = self.ops.len() as u32;
+        if let Some(t) = &mut self.sem {
+            t.events.push(SemEvent {
+                op,
+                kind: SemEventKind::Gate2 { kind, a, b },
+            });
+        }
+    }
+
+    /// Records a measurement event and returns its outcome slot (the count
+    /// of previously recorded measurements). Returns 0 when not recording.
+    pub fn record_measure(&mut self, q: PhysQubit, logical: Option<u32>) -> u32 {
+        let op = self.ops.len() as u32;
+        match &mut self.sem {
+            Some(t) => {
+                let slot = t.num_measures;
+                t.num_measures += 1;
+                t.events.push(SemEvent {
+                    op,
+                    kind: SemEventKind::Measure { q, logical },
+                });
+                slot
+            }
+            None => 0,
+        }
+    }
+
+    /// Records a classically-controlled Pauli correction on `q`, applied
+    /// iff the XOR of the outcomes in `slots` is 1. No-op unless recording.
+    pub fn record_cond_pauli(&mut self, q: PhysQubit, pauli: SemPauli, slots: Vec<u32>) {
+        let op = self.ops.len() as u32;
+        if let Some(t) = &mut self.sem {
+            t.events.push(SemEvent {
+                op,
+                kind: SemEventKind::CondPauli { q, pauli, slots },
+            });
+        }
+    }
+
+    /// The number of physical qubits the circuit schedules over.
+    pub fn num_qubits(&self) -> u32 {
+        self.clock.len() as u32
     }
 
     /// The cost model in effect.
@@ -104,6 +188,9 @@ impl PhysCircuit {
         self.ops.clear();
         self.clock.fill(0);
         self.counts = OpCounts::default();
+        if let Some(t) = &mut self.sem {
+            t.clear();
+        }
     }
 
     /// The scheduled operations, in emission order.
@@ -192,6 +279,9 @@ impl PhysCircuit {
         let kind = topo
             .coupling(a, b)
             .unwrap_or_else(|| panic!("SWAP on uncoupled pair {a}, {b}"));
+        // Swaps are always literal swaps regardless of caller, so the
+        // semantic event is recorded here rather than at every call site.
+        self.record_gate2(SemGate2::Swap, a, b);
         let s = self.emit_resolved(kind, a, b, 0);
         self.emit_resolved(kind, a, b, 0);
         self.emit_resolved(kind, a, b, 0);

@@ -15,7 +15,7 @@ mod vqe;
 pub use bv::{bernstein_vazirani, bv_with_secret};
 pub use qaoa::{qaoa_maxcut, random_maxcut_graph};
 pub use qft::qft;
-pub use random::random_circuit;
+pub use random::{random_circuit, random_clifford};
 pub use vqe::vqe_full_entanglement;
 
 use crate::circuit::Circuit;

@@ -45,6 +45,41 @@ pub fn random_circuit(n: u32, num_gates: usize, seed: u64) -> Circuit {
     c
 }
 
+/// Generates a random *Clifford* circuit: gates drawn uniformly from
+/// {H, S, Sdg, X, Y, Z, CNOT, CZ}, measurements appended on every qubit.
+/// The workhorse of the stabilizer-verification corpus — every generated
+/// circuit satisfies [`Circuit::is_clifford`].
+///
+/// # Panics
+///
+/// Panics if `n < 2` (two-qubit gates need two distinct qubits).
+pub fn random_clifford(n: u32, num_gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuits need at least 2 qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_capacity(n, num_gates + n as usize);
+    for _ in 0..num_gates {
+        let (a, b) = loop {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b {
+                break (a, b);
+            }
+        };
+        match rng.gen_range(0..8u32) {
+            0 => c.h(Qubit(a)).expect("in range"),
+            1 => c.one(OneQubitGate::S, Qubit(a)).expect("in range"),
+            2 => c.one(OneQubitGate::Sdg, Qubit(a)).expect("in range"),
+            3 => c.one(OneQubitGate::X, Qubit(a)).expect("in range"),
+            4 => c.one(OneQubitGate::Y, Qubit(a)).expect("in range"),
+            5 => c.one(OneQubitGate::Z, Qubit(a)).expect("in range"),
+            6 => c.cnot(Qubit(a), Qubit(b)).expect("in range"),
+            _ => c.cz(Qubit(a), Qubit(b)).expect("in range"),
+        }
+    }
+    c.measure_all();
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +88,17 @@ mod tests {
     fn generates_requested_gate_count_plus_measurements() {
         let c = random_circuit(5, 40, 1);
         assert_eq!(c.len(), 45);
+    }
+
+    #[test]
+    fn clifford_generator_is_clifford_and_deterministic() {
+        let c = random_clifford(6, 50, 3);
+        assert!(c.is_clifford());
+        assert_eq!(c.len(), 56);
+        assert_eq!(c, random_clifford(6, 50, 3));
+        assert_ne!(c, random_clifford(6, 50, 4));
+        // The unrestricted generator is (overwhelmingly) not Clifford.
+        assert!(!random_circuit(6, 50, 3).is_clifford());
     }
 
     #[test]

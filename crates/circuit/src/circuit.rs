@@ -108,6 +108,12 @@ impl Circuit {
         self.gates.is_empty()
     }
 
+    /// Whether every gate is Clifford (executable on a stabilizer
+    /// simulator). See [`Gate::is_clifford`].
+    pub fn is_clifford(&self) -> bool {
+        self.gates.iter().all(Gate::is_clifford)
+    }
+
     fn check(&self, q: Qubit) -> Result<(), CircuitError> {
         if q.0 >= self.num_qubits {
             return Err(CircuitError::QubitOutOfRange {

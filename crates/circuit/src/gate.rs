@@ -36,6 +36,22 @@ pub enum OneQubitGate {
 }
 
 impl OneQubitGate {
+    /// Whether this gate is a Clifford operation (normalizes the Pauli
+    /// group). Rotations report `false` even at Clifford angles — the
+    /// classification is syntactic, matching what the stabilizer backend
+    /// can execute.
+    pub fn is_clifford(self) -> bool {
+        matches!(
+            self,
+            OneQubitGate::H
+                | OneQubitGate::X
+                | OneQubitGate::Y
+                | OneQubitGate::Z
+                | OneQubitGate::S
+                | OneQubitGate::Sdg
+        )
+    }
+
     /// The Pauli frame in which this gate is diagonal, used by the
     /// commutation analysis.
     pub fn role(self) -> PauliRole {
@@ -95,6 +111,15 @@ impl TwoQubitKind {
     /// protocol can execute over a GHZ state (`Cnot`, `Cz`, `Cphase`, `Rzz`).
     pub fn is_controlled(self) -> bool {
         !matches!(self, TwoQubitKind::Swap)
+    }
+
+    /// Whether this interaction is a Clifford operation. Parameterized
+    /// kinds (`Cphase`, `Rzz`) report `false` regardless of angle.
+    pub fn is_clifford(self) -> bool {
+        matches!(
+            self,
+            TwoQubitKind::Cnot | TwoQubitKind::Cz | TwoQubitKind::Swap
+        )
     }
 
     /// Whether the gate matrix is diagonal in the computational basis.
@@ -201,6 +226,16 @@ impl Gate {
     /// `true` for two-qubit gates (of any kind).
     pub fn is_two_qubit(&self) -> bool {
         matches!(self, Gate::Two { .. })
+    }
+
+    /// Whether a stabilizer simulator can execute this gate: Clifford
+    /// unitaries and computational-basis measurements.
+    pub fn is_clifford(&self) -> bool {
+        match *self {
+            Gate::One { gate, .. } => gate.is_clifford(),
+            Gate::Two { kind, .. } => kind.is_clifford(),
+            Gate::Measure { .. } => true,
+        }
     }
 
     /// `true` for measurements.

@@ -38,10 +38,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use mech_chiplet::fault::{self, FaultSite};
-use mech_chiplet::{ChipletId, PhysCircuit, QubitSet, StampSet};
+use mech_chiplet::{ChipletId, PhysCircuit, PhysQubit, QubitSet, SemGate1, SemGate2, StampSet};
 use mech_circuit::{
     AggregateOptions, Circuit, CommutationDag, DagSchedule, Gate, GateId, GroupKind,
-    MultiTargetGate, Qubit,
+    MultiTargetGate, OneQubitGate, Qubit, TwoQubitKind,
 };
 use mech_highway::{
     prepare_ghz_chain, prepare_ghz_with, ActiveGroup, EntranceOption, GhzScratch, PinnedView,
@@ -82,6 +82,11 @@ pub struct CompileResult {
     pub claim_skips: u64,
     /// Fraction of physical qubits used as highway ancillas.
     pub highway_percentage: f64,
+    /// Where each logical qubit ended up: `final_positions[q]` is the
+    /// physical position of logical qubit `q` after the last SWAP. The
+    /// semantic verifier lifts the ideal circuit's stabilizers through this
+    /// map.
+    pub final_positions: Vec<PhysQubit>,
 }
 
 impl CompileResult {
@@ -293,6 +298,33 @@ impl PlannerSlot<'_> {
 /// spawn; below this the spawn overhead outweighs the searches saved.
 const PLAN_MIN_GATES: usize = 16;
 
+/// The semantic identity of a program one-qubit gate.
+fn sem_of_one(g: OneQubitGate) -> SemGate1 {
+    match g {
+        OneQubitGate::H => SemGate1::H,
+        OneQubitGate::X => SemGate1::X,
+        OneQubitGate::Y => SemGate1::Y,
+        OneQubitGate::Z => SemGate1::Z,
+        OneQubitGate::S => SemGate1::S,
+        OneQubitGate::Sdg => SemGate1::Sdg,
+        OneQubitGate::T
+        | OneQubitGate::Tdg
+        | OneQubitGate::Rx(_)
+        | OneQubitGate::Ry(_)
+        | OneQubitGate::Rz(_) => SemGate1::NonClifford,
+    }
+}
+
+/// The semantic identity of a program two-qubit gate.
+fn sem_of_two(kind: TwoQubitKind) -> SemGate2 {
+    match kind {
+        TwoQubitKind::Cnot => SemGate2::Cnot,
+        TwoQubitKind::Cz => SemGate2::Cz,
+        TwoQubitKind::Swap => SemGate2::Swap,
+        TwoQubitKind::Cphase | TwoQubitKind::Rzz => SemGate2::NonClifford,
+    }
+}
+
 /// Consecutive zero-progress rounds before the watchdog surfaces
 /// [`CompileError::Stalled`]. On valid input the forced-progress fallback
 /// commits a gate every round the shuttle is closed, so a healthy session
@@ -348,11 +380,15 @@ impl<'a> CompileSession<'a> {
         } else {
             Vec::new()
         };
+        let mut pc = PhysCircuit::new(topo.num_qubits(), config.cost);
+        if config.record_sem_trace {
+            pc.enable_sem_recording();
+        }
         Ok(CompileSession {
             device,
             config,
             circuit,
-            pc: PhysCircuit::new(topo.num_qubits(), config.cost),
+            pc,
             mapping,
             sched,
             shuttle: ShuttleState::with_skeleton(topo, Arc::clone(device.skeleton())),
@@ -494,6 +530,9 @@ impl<'a> CompileSession<'a> {
             }
         }
 
+        let final_positions = (0..self.circuit.num_qubits())
+            .map(|q| self.mapping.phys(Qubit(q)))
+            .collect();
         Ok(CompileResult {
             circuit: self.pc,
             shuttle_stats: self.shuttle.stats(),
@@ -503,6 +542,7 @@ impl<'a> CompileSession<'a> {
             claim_searches: self.shuttle.occupancy.claim_searches(),
             claim_skips: self.shuttle.occupancy.claim_skips(),
             highway_percentage: device.layout().percentage(),
+            final_positions,
         })
     }
 
@@ -522,12 +562,14 @@ impl<'a> CompileSession<'a> {
         let mut progressed = false;
         while let Some(id) = self.sched.pop_ready_one_qubit() {
             match self.circuit.gates()[id.index()] {
-                Gate::One { q, .. } => {
+                Gate::One { gate, q } => {
                     let p = self.mapping.phys(q);
+                    self.pc.record_gate1(p, sem_of_one(gate));
                     self.pc.one_qubit(p);
                 }
                 Gate::Measure { q } => {
                     let p = self.mapping.phys(q);
+                    self.pc.record_measure(p, Some(q.0));
                     self.pc.measure(p);
                 }
                 Gate::Two { .. } => unreachable!("two-qubit gates stay on the two-qubit front"),
@@ -595,7 +637,7 @@ impl<'a> CompileSession<'a> {
         let pinned = self.shuttle.pinned_view();
         for i in 0..self.regular.len() {
             let id = self.regular[i];
-            let Gate::Two { a, b, .. } = self.circuit.gates()[id.index()] else {
+            let Gate::Two { kind, a, b, .. } = self.circuit.gates()[id.index()] else {
                 continue;
             };
             // Never displace a pinned hub; its gates wait for the close.
@@ -607,6 +649,7 @@ impl<'a> CompileSession<'a> {
             if fault::trip(FaultSite::PlannerCommit) {
                 continue; // injected commit failure: the gate stays ready
             }
+            let sem = sem_of_two(kind);
             let result = match self.plans.get_mut(i).and_then(Option::take) {
                 Some(plan) => {
                     let r = self.router.execute_two_qubit_planned(
@@ -616,14 +659,19 @@ impl<'a> CompileSession<'a> {
                         b,
                         &pinned,
                         &plan,
+                        sem,
                     );
                     self.plan_pool.push(plan);
                     r
                 }
-                None => {
-                    self.router
-                        .execute_two_qubit(&mut self.pc, &mut self.mapping, a, b, &pinned)
-                }
+                None => self.router.execute_two_qubit(
+                    &mut self.pc,
+                    &mut self.mapping,
+                    a,
+                    b,
+                    &pinned,
+                    sem,
+                ),
             };
             match result {
                 Ok(()) => {
@@ -764,11 +812,17 @@ impl<'a> CompileSession<'a> {
         if fault::trip(FaultSite::PlannerCommit) {
             return Ok(false); // injected commit failure: the gate stays ready
         }
-        let Gate::Two { a, b, .. } = self.circuit.gates()[id.index()] else {
+        let Gate::Two { kind, a, b, .. } = self.circuit.gates()[id.index()] else {
             unreachable!("the two-qubit front only holds two-qubit gates");
         };
-        self.router
-            .execute_two_qubit(&mut self.pc, &mut self.mapping, a, b, &HashSet::new())?;
+        self.router.execute_two_qubit(
+            &mut self.pc,
+            &mut self.mapping,
+            a,
+            b,
+            &HashSet::new(),
+            sem_of_two(kind),
+        )?;
         self.sched.complete(id);
         self.regular_gates += 1;
         Ok(true)
@@ -947,6 +1001,7 @@ impl<'a> CompileSession<'a> {
             prep.live,
         );
         if conjugated {
+            self.pc.record_gate1(hub_choice.access, SemGate1::H);
             self.pc.one_qubit(hub_choice.access); // opening H on the hub
         }
         self.shuttle.attach_hub(
@@ -969,12 +1024,26 @@ impl<'a> CompileSession<'a> {
             {
                 continue; // stays ready; retried in a later shuttle
             }
+            // The component's effective semantics on (entrance, access):
+            // conjugated groups aggregate CNOTs targeting the hub, which the
+            // opening/closing H turn into CZs; plain groups keep the gate's
+            // own kind (the bus is a Z-basis copy of the hub, so Z-controlled
+            // and diagonal interactions transfer to the entrance).
+            let sem = if conjugated {
+                SemGate2::Cz
+            } else {
+                match self.circuit.gates()[gate.index()] {
+                    Gate::Two { kind, .. } => sem_of_two(kind),
+                    _ => SemGate2::NonClifford,
+                }
+            };
             self.shuttle.component(
                 &mut self.pc,
                 device.topology(),
                 gid,
                 opt.entrance,
                 opt.access,
+                sem,
             );
             executed.push(gate);
         }

@@ -52,6 +52,12 @@ pub struct CompilerConfig {
     /// Defaults to the `MECH_THREADS` environment variable when set (and
     /// ≥ 1), else 1.
     pub threads: usize,
+    /// Record a semantic event trace alongside the compiled schedule, for
+    /// stabilizer verification (`mech_sim::SchedVerifier`). Recording is a
+    /// side channel: the emitted ops, clocks and counts are **byte-identical**
+    /// whether or not a trace is captured; the only cost is the trace memory.
+    /// Defaults to `false`.
+    pub record_sem_trace: bool,
     /// Baseline router tuning (used by [`BaselineCompiler`]).
     ///
     /// [`BaselineCompiler`]: crate::BaselineCompiler
@@ -175,6 +181,7 @@ impl Default for CompilerConfig {
             min_components: 3,
             ghz_style: GhzStyle::default(),
             threads: threads_from_env(),
+            record_sem_trace: false,
             sabre: SabreConfig::default(),
         }
     }

@@ -65,6 +65,14 @@ pub enum CompileError {
         /// Human-readable description (panic payload or invariant).
         detail: String,
     },
+    /// Semantic verification rejected the compiled schedule: executing the
+    /// schedule on the stabilizer backend produced a state different from
+    /// the ideal circuit's. A server-class error — the schedule is wrong,
+    /// not the request.
+    Miscompiled {
+        /// Which check failed (stabilizer generator, op index, …).
+        detail: String,
+    },
 }
 
 impl CompileError {
@@ -81,7 +89,8 @@ impl CompileError {
             | CompileError::DeviceDegraded { .. } => true,
             CompileError::Routing(_)
             | CompileError::Stalled { .. }
-            | CompileError::Internal { .. } => false,
+            | CompileError::Internal { .. }
+            | CompileError::Miscompiled { .. } => false,
         }
     }
 }
@@ -117,6 +126,9 @@ impl fmt::Display for CompileError {
                 "unroutable on degraded device ({dead_qubits} dead qubits, {dead_links} dead links): {detail}"
             ),
             CompileError::Internal { detail } => write!(f, "internal compiler error: {detail}"),
+            CompileError::Miscompiled { detail } => {
+                write!(f, "semantic verification failed: {detail}")
+            }
         }
     }
 }
@@ -174,6 +186,10 @@ mod tests {
         };
         assert!(e.to_string().contains("degraded"));
         assert!(e.to_string().contains('4') && e.to_string().contains("no path"));
+        let e = CompileError::Miscompiled {
+            detail: "generator 3 diverged".into(),
+        };
+        assert!(e.to_string().contains("generator 3 diverged"));
     }
 
     #[test]
@@ -198,6 +214,7 @@ mod tests {
         .is_client_error());
         assert!(!CompileError::Stalled { rounds: 3 }.is_client_error());
         assert!(!CompileError::Internal { detail: "x".into() }.is_client_error());
+        assert!(!CompileError::Miscompiled { detail: "x".into() }.is_client_error());
         assert!(!CompileError::Routing(RoutingError::Disconnected {
             from: PhysQubit(0),
             to: PhysQubit(1),

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 
 use mech_chiplet::{
     AdjacencyView, BfsControl, BfsKernel, HighwayEdgeKind, HighwayLayout, PhysCircuit, PhysQubit,
-    QubitSet, StampMap, Topology,
+    QubitSet, SemGate1, SemGate2, SemPauli, StampMap, Topology,
 };
 
 /// The result of a GHZ preparation: which claimed qubits stayed in the
@@ -60,6 +60,7 @@ pub fn prepare_ghz_chain(
     );
     let root = nodes[0];
     pc.one_qubit(root); // H on the root; the rest stay |0⟩.
+    pc.record_gate1(root, SemGate1::H);
 
     // BFS cascade: entangle outward from the root along claimed edges.
     let adjacency: HashMap<PhysQubit, Vec<PhysQubit>> = {
@@ -80,6 +81,7 @@ pub fn prepare_ghz_chain(
             let edge = layout
                 .edge_between(q, *nb)
                 .unwrap_or_else(|| panic!("claimed edge {q}-{nb} is not a highway edge"));
+            pc.record_gate2(SemGate2::Cnot, q, *nb);
             match edge.kind {
                 HighwayEdgeKind::Direct | HighwayEdgeKind::Cross => {
                     pc.two_qubit(topo, q, *nb);
@@ -191,6 +193,7 @@ pub fn prepare_ghz_with(
     }
 
     if nodes.len() == 1 {
+        pc.record_gate1(nodes[0], SemGate1::H);
         return GhzPrep {
             live: nodes.to_vec(),
             measured: Vec::new(),
@@ -264,6 +267,29 @@ pub fn prepare_ghz_with(
         "claimed edges must connect all claimed nodes"
     );
 
+    // Semantic reading (recorded only when tracing): the cluster+measure
+    // protocol prepares exactly the state of the naive cascade — H on the
+    // root, then CNOT parent→child along the claimed tree. Measuring the
+    // color-1 class in the X basis removes those members from the GHZ state
+    // up to one Z correction on a survivor conditioned on the parity of all
+    // outcomes (recorded after the measurement loop below). This reading is
+    // a *state* witness, not a timing witness: constant depth is checked
+    // separately by the statevector protocol tests.
+    if pc.sem_recording() {
+        pc.record_gate1(root, SemGate1::H);
+        let mut seen: HashSet<PhysQubit> = HashSet::from([root]);
+        let mut queue = VecDeque::from([root]);
+        while let Some(q) = queue.pop_front() {
+            for i in 0..s.adj[q.index()].len() {
+                let nb = s.adj[q.index()][i];
+                if seen.insert(nb) {
+                    pc.record_gate2(SemGate2::Cnot, q, nb);
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+
     let mut live: Vec<PhysQubit> = Vec::new();
     for &q in nodes {
         if s.color.get(q) == Some(1) {
@@ -279,8 +305,17 @@ pub fn prepare_ghz_with(
 
     let mut outcome_time = 0u64;
     let mut measured = Vec::new();
+    let mut prep_slots: Vec<u32> = Vec::new();
     for i in 0..s.to_measure.len() {
         let q = s.to_measure[i];
+        if pc.sem_recording() {
+            // X-basis measurement = H then Z-measure; the conditional X
+            // resets the consumed qubit to |0⟩ so it can be reclaimed.
+            pc.record_gate1(q, SemGate1::H);
+            let slot = pc.record_measure(q, None);
+            pc.record_cond_pauli(q, SemPauli::X, vec![slot]);
+            prep_slots.push(slot);
+        }
         let done = pc.measure(q);
         outcome_time = outcome_time.max(done);
         if entrances.contains_qubit(q) {
@@ -298,6 +333,11 @@ pub fn prepare_ghz_with(
 
     // Pauli corrections on survivors are classically conditioned on the
     // measurement outcomes: every live qubit waits for the last outcome.
+    // Semantically a single Z on any one survivor, conditioned on the
+    // parity of all removal outcomes, fixes the GHZ sign.
+    if pc.sem_recording() && !prep_slots.is_empty() {
+        pc.record_cond_pauli(live[0], SemPauli::Z, prep_slots);
+    }
     for &q in &live {
         pc.advance(q, outcome_time);
         pc.one_qubit(q); // correction (free)
@@ -310,6 +350,7 @@ pub fn prepare_ghz_with(
         let edge = layout
             .edge_between(nb, q)
             .expect("re-entangle pair is a highway edge");
+        pc.record_gate2(SemGate2::Cnot, nb, q);
         match edge.kind {
             HighwayEdgeKind::Direct | HighwayEdgeKind::Cross => {
                 pc.two_qubit(topo, nb, q);

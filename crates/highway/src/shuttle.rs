@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use mech_chiplet::{PhysCircuit, PhysQubit, QubitSet, Topology};
+use mech_chiplet::{PhysCircuit, PhysQubit, QubitSet, SemGate1, SemGate2, SemPauli, Topology};
 
 use crate::occupancy::{GroupId, HighwayOccupancy};
 
@@ -230,9 +230,21 @@ impl ShuttleState {
             .binary_search(&entrance)
             .unwrap_or_else(|_| panic!("hub entrance {entrance} is not live for {gid}"));
         live.remove(pos);
+        // Semantics: CNOT(hub→entrance) then Z-measuring the entrance turns
+        // the remaining bus qubits into Z-basis copies of the hub data qubit
+        // (up to an X correction on every copy when the outcome is 1). The
+        // conditional X on the entrance itself resets it to |0⟩.
+        pc.record_gate2(SemGate2::Cnot, hub_data, entrance);
         pc.two_qubit(topo, hub_data, entrance);
+        let slot = pc.record_measure(entrance, None);
         let outcome = pc.measure(entrance);
+        if pc.sem_recording() {
+            pc.record_cond_pauli(entrance, SemPauli::X, vec![slot]);
+        }
         for &q in live.iter() {
+            if pc.sem_recording() {
+                pc.record_cond_pauli(q, SemPauli::X, vec![slot]);
+            }
             pc.advance(q, outcome);
             pc.one_qubit(q); // conditional X correction (free)
         }
@@ -240,8 +252,11 @@ impl ShuttleState {
     }
 
     /// Executes one gate component: a controlled operation from the live
-    /// GHZ qubit `entrance` onto the data qubit at `access`. Returns the
-    /// start time.
+    /// GHZ qubit `entrance` onto the data qubit at `access`. `sem` names
+    /// the effective two-qubit interaction for the semantic trace (the bus
+    /// copies make control-from-entrance equal control-from-hub for
+    /// Z-controlled interactions); it is ignored when recording is off.
+    /// Returns the start time.
     ///
     /// # Panics
     ///
@@ -253,6 +268,7 @@ impl ShuttleState {
         gid: GroupId,
         entrance: PhysQubit,
         access: PhysQubit,
+        sem: SemGate2,
     ) -> u64 {
         assert!(
             self.live
@@ -263,6 +279,7 @@ impl ShuttleState {
         // Basis changes on the data qubit (CZ vs CX vs CP) are free 1-qubit
         // gates.
         pc.one_qubit(access);
+        pc.record_gate2(sem, entrance, access);
         let t = pc.two_qubit(topo, entrance, access);
         pc.one_qubit(access);
         self.stats.components += 1;
@@ -283,15 +300,31 @@ impl ShuttleState {
         for group in &self.groups {
             let live = self.live.remove(&group.id).unwrap_or_default();
             let mut outcome = 0u64;
+            let mut slots: Vec<u32> = Vec::new();
             for &q in &live {
                 pc.one_qubit(q); // H before X-basis measurement (free)
+                if pc.sem_recording() {
+                    pc.record_gate1(q, SemGate1::H);
+                    let slot = pc.record_measure(q, None);
+                    pc.record_cond_pauli(q, SemPauli::X, vec![slot]);
+                    slots.push(slot);
+                }
                 outcome = outcome.max(pc.measure(q));
             }
             // Conditional Z (and the closing H for conjugated hubs) on the
             // hub data qubit — free, but it must wait for the outcomes.
+            // Semantically: X-measuring the bus copies disentangles them
+            // from the hub up to a Z on the hub conditioned on the outcome
+            // parity; the conditional X after each measurement resets the
+            // consumed qubit to |0⟩. The parity-Z must precede the closing H
+            // of conjugated hubs.
+            if pc.sem_recording() && !slots.is_empty() {
+                pc.record_cond_pauli(group.hub_data, SemPauli::Z, slots);
+            }
             pc.advance(group.hub_data, outcome);
             pc.one_qubit(group.hub_data);
             if group.conjugated {
+                pc.record_gate1(group.hub_data, SemGate1::H);
                 pc.one_qubit(group.hub_data);
             }
             hub_ready = hub_ready.max(pc.time(group.hub_data));
@@ -386,7 +419,7 @@ mod tests {
             .copied()
             .find(|&q| !hw.is_highway(q) && q != hub_data)
             .unwrap();
-        st.component(&mut pc, &topo, gid, target_entrance, access);
+        st.component(&mut pc, &topo, gid, target_entrance, access, SemGate2::Cnot);
 
         let end = st.close(&mut pc, &topo).unwrap();
         assert!(end > 0);

@@ -22,7 +22,7 @@ use std::fmt;
 use mech_chiplet::fault::{self, FaultSite};
 use mech_chiplet::{
     astar_route, CancelToken, HighwayLayout, PhysCircuit, PhysQubit, QubitSet, RoutingScratch,
-    Topology,
+    SemGate2, Topology,
 };
 
 use crate::mapping::Mapping;
@@ -337,6 +337,9 @@ impl<'a> LocalRouter<'a> {
     /// idle highway qubit separates the final positions, the gate executes
     /// as a bridge through the ancilla (4 CNOTs) instead of displacing it.
     ///
+    /// `sem` names the routed gate's semantics for the trace (`a` is the
+    /// control); it is ignored when recording is off.
+    ///
     /// # Errors
     ///
     /// [`RoutingError::Disconnected`] if no route exists.
@@ -347,8 +350,9 @@ impl<'a> LocalRouter<'a> {
         a: mech_circuit::Qubit,
         b: mech_circuit::Qubit,
         pinned: &S,
+        sem: SemGate2,
     ) -> Result<(), RoutingError> {
-        self.execute_two_qubit_cursor(pc, mapping, a, b, pinned, &mut PlanCursor::Live)
+        self.execute_two_qubit_cursor(pc, mapping, a, b, pinned, &mut PlanCursor::Live, sem)
     }
 
     /// [`LocalRouter::execute_two_qubit`] replaying a plan computed by
@@ -359,6 +363,7 @@ impl<'a> LocalRouter<'a> {
     /// # Errors
     ///
     /// [`RoutingError::Disconnected`] if no route exists.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute_two_qubit_planned<S: QubitSet>(
         &mut self,
         pc: &mut PhysCircuit,
@@ -367,13 +372,14 @@ impl<'a> LocalRouter<'a> {
         b: mech_circuit::Qubit,
         pinned: &S,
         plan: &RoutePlan,
+        sem: SemGate2,
     ) -> Result<(), RoutingError> {
         let mut cursor = PlanCursor::Replay {
             plan,
             next: 0,
             diverged: false,
         };
-        self.execute_two_qubit_cursor(pc, mapping, a, b, pinned, &mut cursor)
+        self.execute_two_qubit_cursor(pc, mapping, a, b, pinned, &mut cursor, sem)
     }
 
     /// Speculatively routes the gate against a worker-local `mapping` and
@@ -398,13 +404,23 @@ impl<'a> LocalRouter<'a> {
         plan: &mut RoutePlan,
     ) -> Result<(), RoutingError> {
         plan.clear();
-        self.execute_two_qubit_cursor(ghost, mapping, a, b, pinned, &mut PlanCursor::Record(plan))
+        // The ghost circuit never records a trace, so the sem kind is moot.
+        self.execute_two_qubit_cursor(
+            ghost,
+            mapping,
+            a,
+            b,
+            pinned,
+            &mut PlanCursor::Record(plan),
+            SemGate2::NonClifford,
+        )
     }
 
     /// The shared control flow behind execute/plan/replay. Every branch
     /// decision below is a pure function of the found path, the layout and
     /// the current mapping — which is why recording the `find_path` results
     /// alone is enough to replay the whole execution.
+    #[allow(clippy::too_many_arguments)]
     fn execute_two_qubit_cursor<S: QubitSet>(
         &mut self,
         pc: &mut PhysCircuit,
@@ -413,11 +429,13 @@ impl<'a> LocalRouter<'a> {
         b: mech_circuit::Qubit,
         pinned: &S,
         cursor: &mut PlanCursor<'_>,
+        sem: SemGate2,
     ) -> Result<(), RoutingError> {
         for _attempt in 0..4 {
             let pa = mapping.phys(a);
             let pb = mapping.phys(b);
             if self.topo.are_coupled(pa, pb) {
+                pc.record_gate2(sem, pa, pb);
                 pc.two_qubit(self.topo, pa, pb);
                 return Ok(());
             }
@@ -436,6 +454,7 @@ impl<'a> LocalRouter<'a> {
                     let end = self.scratch.path.len() - 1;
                     self.emit_path(pc, mapping, &self.scratch.path[..end]);
                     let (pa, pb) = (mapping.phys(a), mapping.phys(b));
+                    pc.record_gate2(sem, pa, pb);
                     pc.two_qubit(self.topo, pa, pb);
                     return Ok(());
                 }
@@ -445,6 +464,9 @@ impl<'a> LocalRouter<'a> {
                     let via = self.scratch.path[stop];
                     self.emit_path(pc, mapping, &self.scratch.path[..stop]);
                     let at = mapping.phys(a);
+                    // The 4-CNOT bridge gadget acts as an exact two-qubit
+                    // gate on (at, pb) with `via` untouched.
+                    pc.record_gate2(sem, at, pb);
                     pc.bridge(self.topo, at, via, pb);
                     return Ok(());
                 }
@@ -618,8 +640,15 @@ mod tests {
         let mut m = Mapping::trivial(8, &data);
         let mut pc = PhysCircuit::new(topo.num_qubits(), CostModel::default());
         let mut r = LocalRouter::new(&topo, &hw);
-        r.execute_two_qubit(&mut pc, &mut m, Qubit(0), Qubit(7), &HashSet::new())
-            .unwrap();
+        r.execute_two_qubit(
+            &mut pc,
+            &mut m,
+            Qubit(0),
+            Qubit(7),
+            &HashSet::new(),
+            SemGate2::Cnot,
+        )
+        .unwrap();
         let last = pc.ops().last().unwrap();
         assert!(topo.are_coupled(last.a, last.b.unwrap()));
         assert!(m.is_consistent());
@@ -650,6 +679,7 @@ mod tests {
             Qubit(i as u32),
             Qubit(j as u32),
             &HashSet::new(),
+            SemGate2::Cnot,
         )
         .unwrap();
         assert_eq!(pc.counts().on_chip_cnots + pc.counts().cross_chip_cnots, 1);
@@ -700,7 +730,14 @@ mod tests {
         let mut direct_router = LocalRouter::new(&topo, &hw);
         for &(a, b) in &pairs {
             direct_router
-                .execute_two_qubit(&mut direct_pc, &mut direct_map, a, b, &empty)
+                .execute_two_qubit(
+                    &mut direct_pc,
+                    &mut direct_map,
+                    a,
+                    b,
+                    &empty,
+                    SemGate2::Cnot,
+                )
                 .unwrap();
         }
 
@@ -722,7 +759,15 @@ mod tests {
         let mut replay_router = LocalRouter::new(&topo, &hw);
         for (&(a, b), plan) in pairs.iter().zip(&plans) {
             replay_router
-                .execute_two_qubit_planned(&mut replay_pc, &mut replay_map, a, b, &empty, plan)
+                .execute_two_qubit_planned(
+                    &mut replay_pc,
+                    &mut replay_map,
+                    a,
+                    b,
+                    &empty,
+                    plan,
+                    SemGate2::Cnot,
+                )
                 .unwrap();
         }
 
@@ -768,11 +813,26 @@ mod tests {
         let mut expected_map = mapping.clone();
         let mut oracle = LocalRouter::new(&topo, &hw);
         oracle
-            .execute_two_qubit(&mut expected_pc, &mut expected_map, Qubit(0), far, &empty)
+            .execute_two_qubit(
+                &mut expected_pc,
+                &mut expected_map,
+                Qubit(0),
+                far,
+                &empty,
+                SemGate2::Cnot,
+            )
             .unwrap();
 
         router
-            .execute_two_qubit_planned(&mut pc, &mut mapping, Qubit(0), far, &empty, &plan)
+            .execute_two_qubit_planned(
+                &mut pc,
+                &mut mapping,
+                Qubit(0),
+                far,
+                &empty,
+                &plan,
+                SemGate2::Cnot,
+            )
             .unwrap();
         assert_eq!(pc.ops()[moved_at..], expected_pc.ops()[moved_at..]);
         assert_eq!(mapping, expected_map);

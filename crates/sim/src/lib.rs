@@ -16,6 +16,14 @@
 //! Those equivalences are exercised in [`protocol`]'s tests, turning the
 //! paper's circuit identities into executable checks.
 //!
+//! Alongside the dense simulator lives a device-scale stabilizer backend:
+//! a bit-matrix Clifford [`Tableau`], a circuit runner
+//! ([`run_clifford`]), and the semantic schedule verifier
+//! ([`SchedVerifier`]) that replays a compiled schedule's recorded event
+//! trace — GHZ highway preparation, shuttle open/close, measurement-based
+//! corrections and all — and proves the final state equals the ideal
+//! circuit's, modulo the final qubit mapping.
+//!
 //! # Example
 //!
 //! ```
@@ -32,8 +40,14 @@
 mod complex;
 mod executor;
 pub mod protocol;
+pub mod stabilizer;
 mod state;
+pub mod tableau;
+pub mod verify;
 
 pub use complex::C64;
 pub use executor::{run_circuit, RunOutcome};
+pub use stabilizer::{run_clifford, OutcomePolicy, RecordedMeasure, StabRun};
 pub use state::State;
+pub use tableau::{MeasureOutcome, Membership, PauliString, Tableau};
+pub use verify::{SchedVerifier, VerifyError, VerifyReport};

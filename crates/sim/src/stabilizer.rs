@@ -1,0 +1,227 @@
+//! Runs Clifford [`Circuit`]s on the bit-matrix [`Tableau`].
+//!
+//! This is the device-scale counterpart of [`crate::run_circuit`]: the
+//! state-vector executor caps out around two dozen qubits, while the
+//! stabilizer runner handles the full 441-qubit device — at the price of
+//! only accepting Clifford gates ([`Circuit::is_clifford`]).
+//!
+//! Measurement outcomes with probability ½ are resolved by an
+//! [`OutcomePolicy`] instead of an ambient RNG, so a run is a pure function
+//! of the circuit and the policy. The schedule verifier exploits this to
+//! replay one execution's exact outcome sequence against another.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mech_circuit::{Circuit, Gate, OneQubitGate, Qubit, TwoQubitKind};
+
+use crate::tableau::{MeasureOutcome, Tableau};
+
+/// How to resolve measurement outcomes that are uniformly random.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomePolicy {
+    /// Every random outcome reads 0 — exercises the "no correction" branch
+    /// of measurement-based protocols.
+    Zeros,
+    /// Every random outcome reads 1 — exercises every classically-
+    /// controlled correction.
+    Ones,
+    /// Outcomes drawn from a seeded RNG — a reproducible mix of branches.
+    Seeded(u64),
+}
+
+impl OutcomePolicy {
+    /// The three policies the verification suites sweep. `Zeros` and
+    /// `Ones` cover both branches of every correction; the seeded policy
+    /// adds an arbitrary interleaving.
+    pub const SWEEP: [OutcomePolicy; 3] = [
+        OutcomePolicy::Zeros,
+        OutcomePolicy::Ones,
+        OutcomePolicy::Seeded(0x6d65_6368),
+    ];
+}
+
+/// A stream of desired outcomes realized from an [`OutcomePolicy`].
+#[derive(Debug, Clone)]
+pub struct OutcomeSource {
+    policy: OutcomePolicy,
+    rng: Option<StdRng>,
+}
+
+impl OutcomeSource {
+    /// Starts the stream.
+    pub fn new(policy: OutcomePolicy) -> Self {
+        let rng = match policy {
+            OutcomePolicy::Seeded(seed) => Some(StdRng::seed_from_u64(seed)),
+            _ => None,
+        };
+        OutcomeSource { policy, rng }
+    }
+
+    /// The next desired outcome.
+    pub fn next_outcome(&mut self) -> bool {
+        match (&self.policy, &mut self.rng) {
+            (OutcomePolicy::Zeros, _) => false,
+            (OutcomePolicy::Ones, _) => true,
+            (OutcomePolicy::Seeded(_), Some(rng)) => rng.gen_bool(0.5),
+            (OutcomePolicy::Seeded(_), None) => unreachable!("seeded source has an rng"),
+        }
+    }
+}
+
+/// One recorded measurement of a stabilizer run, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedMeasure {
+    /// The measured program qubit.
+    pub q: Qubit,
+    /// Value and determinedness.
+    pub outcome: MeasureOutcome,
+}
+
+/// The result of running a Clifford circuit on a tableau.
+#[derive(Debug, Clone)]
+pub struct StabRun {
+    /// The final stabilizer state.
+    pub tableau: Tableau,
+    /// Every measurement in program order.
+    pub measurements: Vec<RecordedMeasure>,
+}
+
+/// Runs `circuit` from `|0…0⟩` under `policy`.
+///
+/// Returns `Err(gate_index)` of the first non-Clifford gate if the circuit
+/// is outside the stabilizer formalism.
+pub fn run_clifford(circuit: &Circuit, policy: OutcomePolicy) -> Result<StabRun, usize> {
+    let mut tab = Tableau::new(circuit.num_qubits().max(1));
+    let mut source = OutcomeSource::new(policy);
+    let mut measurements = Vec::new();
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        if !gate.is_clifford() {
+            return Err(idx);
+        }
+        match *gate {
+            Gate::One { gate, q } => apply_one(&mut tab, gate, q.0),
+            Gate::Two { kind, a, b, .. } => apply_two(&mut tab, kind, a.0, b.0),
+            Gate::Measure { q } => {
+                let desired = source.next_outcome();
+                let outcome = tab.measure(q.0, desired);
+                measurements.push(RecordedMeasure { q, outcome });
+            }
+        }
+    }
+    Ok(StabRun {
+        tableau: tab,
+        measurements,
+    })
+}
+
+pub(crate) fn apply_one(tab: &mut Tableau, gate: OneQubitGate, q: u32) {
+    match gate {
+        OneQubitGate::H => tab.h(q),
+        OneQubitGate::X => tab.x(q),
+        OneQubitGate::Y => tab.y(q),
+        OneQubitGate::Z => tab.z(q),
+        OneQubitGate::S => tab.s(q),
+        OneQubitGate::Sdg => tab.sdg(q),
+        OneQubitGate::T
+        | OneQubitGate::Tdg
+        | OneQubitGate::Rx(_)
+        | OneQubitGate::Ry(_)
+        | OneQubitGate::Rz(_) => unreachable!("screened by is_clifford"),
+    }
+}
+
+pub(crate) fn apply_two(tab: &mut Tableau, kind: TwoQubitKind, a: u32, b: u32) {
+    match kind {
+        TwoQubitKind::Cnot => tab.cnot(a, b),
+        TwoQubitKind::Cz => tab.cz(a, b),
+        TwoQubitKind::Swap => tab.swap(a, b),
+        TwoQubitKind::Cphase | TwoQubitKind::Rzz => unreachable!("screened by is_clifford"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tableau::{Membership, PauliString};
+    use mech_circuit::benchmarks::{bv_with_secret, random_clifford};
+
+    #[test]
+    fn ghz_chain_measures_in_agreement() {
+        for policy in OutcomePolicy::SWEEP {
+            let mut c = Circuit::new(5);
+            c.h(Qubit(0)).unwrap();
+            for q in 1..5 {
+                c.cnot(Qubit(q - 1), Qubit(q)).unwrap();
+            }
+            c.measure_all();
+            let run = run_clifford(&c, policy).unwrap();
+            assert_eq!(run.measurements.len(), 5);
+            assert!(!run.measurements[0].outcome.determined);
+            let first = run.measurements[0].outcome.value;
+            for m in &run.measurements[1..] {
+                assert!(m.outcome.determined, "GHZ collapse forces the rest");
+                assert_eq!(m.outcome.value, first);
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_and_ones_policies_pick_their_branch() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).unwrap();
+        c.measure(Qubit(0)).unwrap();
+        let zeros = run_clifford(&c, OutcomePolicy::Zeros).unwrap();
+        assert!(!zeros.measurements[0].outcome.value);
+        let ones = run_clifford(&c, OutcomePolicy::Ones).unwrap();
+        assert!(ones.measurements[0].outcome.value);
+    }
+
+    #[test]
+    fn bv_outcomes_read_back_the_secret() {
+        // BV is Clifford (H layers + CNOT oracle) and fully deterministic:
+        // every data qubit reads its secret bit.
+        let secret = [true, false, true, true, false, false, true, true];
+        let c = bv_with_secret(9, &secret);
+        let run = run_clifford(&c, OutcomePolicy::Zeros).unwrap();
+        assert_eq!(run.measurements.len(), 8);
+        for (m, &bit) in run.measurements.iter().zip(&secret) {
+            assert!(m.outcome.determined, "BV has no random outcomes");
+            assert_eq!(m.outcome.value, bit, "qubit {} reads the secret", m.q.0);
+        }
+    }
+
+    #[test]
+    fn rejects_non_clifford_gates() {
+        let mut c = Circuit::new(2);
+        c.h(Qubit(0)).unwrap();
+        c.rz(Qubit(1), 0.3).unwrap();
+        assert!(matches!(run_clifford(&c, OutcomePolicy::Zeros), Err(1)));
+    }
+
+    #[test]
+    fn seeded_policy_is_reproducible() {
+        let c = random_clifford(8, 120, 11);
+        let a = run_clifford(&c, OutcomePolicy::Seeded(5)).unwrap();
+        let b = run_clifford(&c, OutcomePolicy::Seeded(5)).unwrap();
+        assert_eq!(a.measurements, b.measurements);
+    }
+
+    #[test]
+    fn device_scale_run_completes() {
+        // 441 qubits is the paper's 21×21 device; make sure the bit-packed
+        // tableau really does handle it.
+        let c = random_clifford(441, 2000, 7);
+        let run = run_clifford(&c, OutcomePolicy::Seeded(1)).unwrap();
+        assert_eq!(run.measurements.len(), 441);
+        // Post-measurement, every qubit's Z (signed by its outcome) is a
+        // stabilizer.
+        let mut tab = run.tableau;
+        for m in &run.measurements {
+            let mut p = PauliString::identity(441);
+            p.set_z(m.q.0);
+            p.neg = m.outcome.value;
+            assert_eq!(tab.membership(&p), Membership::In);
+        }
+    }
+}

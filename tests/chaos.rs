@@ -390,6 +390,51 @@ fn device_defect_mid_epoch_flip_stays_transient_and_deterministic() {
 }
 
 #[test]
+fn recovered_compiles_verify_semantically_at_every_fault_site() {
+    let _serial = chaos_lock();
+    let device = device();
+    // A Clifford workload, so the serve-layer verify gate actually proves
+    // the schedule instead of skipping (qft would be screened).
+    let program = Arc::new(bernstein_vazirani(device.num_data_qubits().min(24), 5));
+
+    for site in FaultSite::ALL {
+        let service = single_worker(Arc::clone(&device));
+        {
+            let _armed = Armed::plan(FaultPlan::new().fail_nth(site, 1, FaultMode::Error));
+            let ticket = service
+                .submit_request(Request::new(Arc::clone(&program)).with_verify(true))
+                .unwrap();
+            let outcome = bounded_wait(&ticket).unwrap();
+            // A transparently recovered compile is not exempt from
+            // semantics: whatever degradation path the fault rerouted it
+            // down, the served schedule must still prove out on the
+            // stabilizer backend.
+            match outcome.result {
+                Ok(_) => assert!(
+                    outcome.verified,
+                    "site {site}: recovered compile must verify"
+                ),
+                Err(e) => assert!(!e.is_client_error(), "site {site}: {e}"),
+            }
+            disarm();
+        }
+
+        // Post-fault, the surviving worker still serves verified compiles.
+        let outcome = bounded_wait(
+            &service
+                .submit_request(Request::new(Arc::clone(&program)).with_verify(true))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(outcome.result.is_ok(), "site {site}");
+        assert!(outcome.verified, "site {site}");
+        let stats = service.shutdown();
+        assert_eq!(stats.miscompiled, 0, "site {site}");
+        assert_eq!(stats.submitted, stats.served + stats.shed + stats.failed);
+    }
+}
+
+#[test]
 fn fault_reports_account_every_trip() {
     let _serial = chaos_lock();
     let device = device();

@@ -53,6 +53,43 @@ fn degraded_441q_compiles_every_timed_family_on_surviving_fabric() {
 }
 
 #[test]
+fn degraded_441q_clifford_families_verify_clean_at_one_and_four_threads() {
+    // Defect tolerance is not just "compiles and avoids dead resources":
+    // the schedule routed around the dead set must still implement the
+    // program. Every Clifford family on the canonical fixture is replayed
+    // on the stabilizer backend, at 1 and 4 planner threads (the two
+    // counts CI sweeps via MECH_THREADS), with thread-count byte-identity
+    // asserted on the way.
+    let device = degraded_441q().build_artifacts();
+    let n = device.num_data_qubits();
+    for (family, gen) in programs::CLIFFORD_FAMILIES {
+        let program = gen(n);
+        let mut results = Vec::new();
+        for threads in [1usize, 4] {
+            let config = mech_bench::verify::recording(CompilerConfig {
+                threads,
+                ..CompilerConfig::default()
+            });
+            let r = MechCompiler::new(Arc::clone(&device), config)
+                .compile(&program)
+                .unwrap_or_else(|e| panic!("{family} failed on degraded 441q: {e}"));
+            device
+                .audit(&r.circuit)
+                .unwrap_or_else(|e| panic!("{family} schedule touches a dead resource: {e}"));
+            mech_bench::verify::verify_compiled(&program, &r).unwrap_or_else(|e| {
+                panic!("{family} (threads={threads}) failed semantic verification: {e}")
+            });
+            results.push(r);
+        }
+        assert_eq!(
+            results[0].circuit.ops(),
+            results[1].circuit.ops(),
+            "{family}: degraded schedule diverged across thread counts"
+        );
+    }
+}
+
+#[test]
 fn degraded_schedules_are_thread_count_invariant() {
     let device = degraded_441q().build_artifacts();
     let program = programs::qft(device.num_data_qubits().min(40));
